@@ -1,0 +1,403 @@
+(* dbre — reverse-engineer a denormalized relational database.
+
+   Subcommands:
+     example   run a built-in scenario end to end
+     analyze   run the pipeline on a DDL script + CSV extension + programs
+     inds      stop after IND-Discovery
+     discover  exhaustive FD/IND discovery baselines
+     generate  emit a synthetic workload to a directory *)
+
+open Cmdliner
+open Relational
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let load_database ~ddl_path ~data_dir =
+  let schema, _fks = Sqlx.Ddl.schema_of_script (read_file ddl_path) in
+  let db = Database.create schema in
+  List.iter
+    (fun rel ->
+      let name = rel.Relation.name in
+      let csv_path = Filename.concat data_dir (name ^ ".csv") in
+      if Sys.file_exists csv_path then begin
+        let table = Csv.load_table rel (read_file csv_path) in
+        Database.replace_table db table
+      end)
+    (Schema.relations schema);
+  db
+
+let load_programs dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.map (fun f -> read_file (Filename.concat dir f))
+
+(* ------------------------------------------------------------------ *)
+(* Common args                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_arg =
+  let doc =
+    "Expert-user mode: 'auto' (accept data verdicts), 'skeptical' (refuse \
+     hidden objects), 'interactive' (prompt on stdin), or \
+     'threshold:<ratio>' (force NEIs whose overlap exceeds the ratio)."
+  in
+  Arg.(value & opt string "auto" & info [ "oracle" ] ~docv:"MODE" ~doc)
+
+let parse_oracle = function
+  | "auto" -> Ok Dbre.Oracle.automatic
+  | "skeptical" -> Ok Dbre.Oracle.skeptical
+  | "interactive" -> Ok (Dbre.Oracle.interactive ())
+  | s when String.length s > 10 && String.sub s 0 10 = "threshold:" -> (
+      match float_of_string_opt (String.sub s 10 (String.length s - 10)) with
+      | Some r -> Ok (Dbre.Oracle.threshold ~nei_ratio:r)
+      | None -> Error (Printf.sprintf "bad threshold in %S" s))
+  | s -> Error (Printf.sprintf "unknown oracle mode %S" s)
+
+let dot_arg =
+  let doc = "Write the final EER schema as Graphviz DOT to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let markdown_arg =
+  let doc = "Write the full report as Markdown to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "markdown" ] ~docv:"FILE" ~doc)
+
+let report_result ?dot ?markdown result =
+  Format.printf "%a@." Dbre.Report.pp_result result;
+  Format.printf "@.=== Normal forms after Restruct ===@.";
+  List.iter
+    (fun (name, nf) ->
+      Format.printf "%-24s %s@." name (Deps.Normal_forms.nf_to_string nf))
+    (Dbre.Pipeline.nf_report result);
+  (match markdown with
+  | Some path ->
+      write_file path (Dbre.Report.markdown result);
+      Format.printf "@.Markdown report written to %s@." path
+  | None -> ());
+  match dot with
+  | Some path ->
+      write_file path
+        (Er.Dot_render.render
+           result.Dbre.Pipeline.translate_result.Dbre.Translate.eer);
+      Format.printf "@.EER schema written to %s@." path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* example                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let example_cmd =
+  let scenario_arg =
+    let doc = "Scenario name: 'paper', 'payroll' or 'hospital'." in
+    Arg.(value & pos 0 string "paper" & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let run scenario dot markdown =
+    match Workload.Scenarios.find scenario with
+    | None ->
+        Printf.eprintf "unknown scenario %S (try: %s)\n" scenario
+          (String.concat ", "
+             (List.map
+                (fun s -> s.Workload.Scenarios.name)
+                Workload.Scenarios.all));
+        1
+    | Some s ->
+        let db = s.Workload.Scenarios.database () in
+        let config =
+          {
+            Dbre.Pipeline.default_config with
+            Dbre.Pipeline.oracle = s.Workload.Scenarios.oracle ();
+          }
+        in
+        let result =
+          Dbre.Pipeline.run ~config db
+            (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+        in
+        report_result ?dot ?markdown result;
+        0
+  in
+  let doc = "Run a built-in reverse-engineering scenario end to end." in
+  Cmd.v
+    (Cmd.info "example" ~doc)
+    Term.(const run $ scenario_arg $ dot_arg $ markdown_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ddl_arg =
+  let doc = "SQL DDL script declaring the legacy schema." in
+  Arg.(required & opt (some file) None & info [ "ddl" ] ~docv:"FILE" ~doc)
+
+let data_arg =
+  let doc = "Directory holding one <relation>.csv per relation." in
+  Arg.(required & opt (some dir) None & info [ "data" ] ~docv:"DIR" ~doc)
+
+let programs_arg =
+  let doc = "Directory of application-program sources to scan." in
+  Arg.(required & opt (some dir) None & info [ "programs" ] ~docv:"DIR" ~doc)
+
+let analyze_cmd =
+  let run ddl data programs oracle dot markdown =
+    match parse_oracle oracle with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok oracle ->
+        let db = load_database ~ddl_path:ddl ~data_dir:data in
+        let config =
+          { Dbre.Pipeline.default_config with Dbre.Pipeline.oracle }
+        in
+        let result =
+          Dbre.Pipeline.run ~config db
+            (Dbre.Pipeline.Programs (load_programs programs))
+        in
+        report_result ?dot ?markdown result;
+        0
+  in
+  let doc =
+    "Reverse-engineer a database given its DDL, extension and programs."
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ dot_arg
+      $ markdown_arg)
+
+(* ------------------------------------------------------------------ *)
+(* inds                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let inds_cmd =
+  let run ddl data programs oracle =
+    match parse_oracle oracle with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok oracle ->
+        let db = load_database ~ddl_path:ddl ~data_dir:data in
+        let joins =
+          let extraction = Sqlx.Embedded.scan_files (load_programs programs) in
+          Sqlx.Equijoin.dedupe
+            (List.concat_map
+               (Sqlx.Equijoin.of_statement (Database.schema db))
+               extraction.Sqlx.Embedded.statements)
+        in
+        Format.printf "Equi-joins:@.%a@.@." Dbre.Report.pp_equijoins joins;
+        let r = Dbre.Ind_discovery.run oracle db joins in
+        Format.printf "Trace:@.%a@.@." Dbre.Report.pp_ind_steps
+          r.Dbre.Ind_discovery.steps;
+        Format.printf "IND:@.%a@." Dbre.Report.pp_inds
+          r.Dbre.Ind_discovery.inds;
+        0
+  in
+  let doc = "Elicit inclusion dependencies only (stop after §6.1)." in
+  Cmd.v
+    (Cmd.info "inds" ~doc)
+    Term.(const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg)
+
+(* ------------------------------------------------------------------ *)
+(* discover (exhaustive baselines)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let discover_cmd =
+  let what_arg =
+    let doc = "'fds', 'inds' or 'keys'." in
+    Arg.(value & pos 0 string "fds" & info [] ~docv:"WHAT" ~doc)
+  in
+  let max_lhs_arg =
+    let doc = "Maximum FD left-hand-side size." in
+    Arg.(value & opt int 2 & info [ "max-lhs" ] ~doc)
+  in
+  let run what ddl data max_lhs =
+    let db = load_database ~ddl_path:ddl ~data_dir:data in
+    (match what with
+    | "fds" ->
+        List.iter
+          (fun rel ->
+            let name = rel.Relation.name in
+            let fds, stats =
+              Deps.Fd_infer.discover ~max_lhs ~rel:name
+                (Database.table db name)
+            in
+            Format.printf "-- %s (%d candidates tested):@." name
+              stats.Deps.Fd_infer.candidates_tested;
+            List.iter (fun fd -> Format.printf "  %a@." Deps.Fd.pp fd) fds)
+          (Schema.relations (Database.schema db))
+    | "inds" ->
+        let inds, stats = Deps.Ind_infer.discover_unary db in
+        Format.printf
+          "-- unary INDs (%d pairs considered, %d tested):@."
+          stats.Deps.Ind_infer.pairs_considered
+          stats.Deps.Ind_infer.pairs_tested;
+        List.iter (fun ind -> Format.printf "  %a@." Deps.Ind.pp ind) inds
+    | "keys" ->
+        List.iter
+          (fun (rel, keys) ->
+            Format.printf "-- %s:@." rel;
+            List.iter
+              (fun k -> Format.printf "  unique (%s)@." (String.concat ", " k))
+              keys)
+          (Deps.Key_infer.suggest ~max_size:max_lhs db)
+    | other -> Printf.eprintf "unknown target %S (use fds|inds|keys)\n" other);
+    0
+  in
+  let doc =
+    "Exhaustive dependency discovery (the baseline the paper's \
+     query-guided method avoids)."
+  in
+  Cmd.v
+    (Cmd.info "discover" ~doc)
+    Term.(const run $ what_arg $ ddl_arg $ data_arg $ max_lhs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* migrate                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let migrate_cmd =
+  let out_arg =
+    let doc = "Write the migration SQL script to $(docv) (default stdout)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Re-apply the generated script to a fresh copy of the database and \
+       check the result matches the in-memory restructuring."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run ddl data programs oracle out verify =
+    match parse_oracle oracle with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok oracle ->
+        let db = load_database ~ddl_path:ddl ~data_dir:data in
+        let original = Database.schema db in
+        let config =
+          { Dbre.Pipeline.default_config with Dbre.Pipeline.oracle }
+        in
+        let result =
+          Dbre.Pipeline.run ~config db
+            (Dbre.Pipeline.Programs (load_programs programs))
+        in
+        let sql = Dbre.Migration.script ~original result in
+        (match out with
+        | Some path ->
+            write_file path sql;
+            Printf.printf "migration written to %s\n" path
+        | None -> print_string sql);
+        if verify then begin
+          let fresh = load_database ~ddl_path:ddl ~data_dir:data in
+          Sqlx.Exec.exec_script fresh sql;
+          let expected =
+            Option.get
+              result.Dbre.Pipeline.restruct_result.Dbre.Restruct.database
+          in
+          let ok =
+            List.for_all
+              (fun rel ->
+                let name = rel.Relation.name in
+                let sort t =
+                  List.sort compare (Table.to_lists (Database.table t name))
+                in
+                sort fresh = sort expected)
+              (Schema.relations (Database.schema expected))
+          in
+          Printf.printf "verification: %s\n" (if ok then "OK" else "FAILED");
+          if not ok then exit 1
+        end;
+        0
+  in
+  let doc =
+    "Generate (and optionally verify) the SQL migration script that \
+     restructures the legacy database to 3NF."
+  in
+  Cmd.v
+    (Cmd.info "migrate" ~doc)
+    Term.(
+      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ out_arg
+      $ verify_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let out_arg =
+    let doc = "Output directory (created if missing)." in
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let seed_arg =
+    let doc = "Generator seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+  in
+  let entities_arg =
+    Arg.(value & opt int 4 & info [ "entities" ] ~doc:"Base entity count.")
+  in
+  let rows_arg =
+    Arg.(value & opt int 1000 & info [ "rows" ] ~doc:"Rows per entity.")
+  in
+  let run out seed entities rows =
+    let spec =
+      {
+        Workload.Gen_schema.default_spec with
+        Workload.Gen_schema.seed = Int64.of_int seed;
+        n_entities = entities;
+        rows_per_entity = rows;
+      }
+    in
+    let g = Workload.Gen_schema.generate spec in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let data_dir = Filename.concat out "data" in
+    let prog_dir = Filename.concat out "programs" in
+    List.iter
+      (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+      [ data_dir; prog_dir ];
+    List.iter
+      (fun rel ->
+        let name = rel.Relation.name in
+        write_file
+          (Filename.concat data_dir (name ^ ".csv"))
+          (Csv.dump_table (Database.table g.Workload.Gen_schema.db name)))
+      (Schema.relations (Database.schema g.Workload.Gen_schema.db));
+    List.iteri
+      (fun i src ->
+        write_file
+          (Filename.concat prog_dir (Printf.sprintf "prog%02d.cob" i))
+          src)
+      g.Workload.Gen_schema.programs;
+    (* a DDL script for the generated schema *)
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun rel ->
+        Buffer.add_string buf (Sqlx.Ddl.create_table_sql rel ^ ";\n"))
+      (Schema.relations (Database.schema g.Workload.Gen_schema.db));
+    write_file (Filename.concat out "schema.sql") (Buffer.contents buf);
+    Printf.printf "wrote %s (schema.sql, data/, programs/)\n" out;
+    0
+  in
+  let doc = "Generate a synthetic denormalized workload to a directory." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const run $ out_arg $ seed_arg $ entities_arg $ rows_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "reverse engineering of denormalized relational databases" in
+  let info = Cmd.info "dbre" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            example_cmd; analyze_cmd; inds_cmd; discover_cmd; migrate_cmd;
+            generate_cmd;
+          ]))

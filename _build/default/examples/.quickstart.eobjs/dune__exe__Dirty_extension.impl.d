@@ -1,0 +1,1 @@
+examples/dirty_extension.ml: Attribute Database Dbre Deps Fd Fd_infer Format Ind List Relation Relational Schema String Workload

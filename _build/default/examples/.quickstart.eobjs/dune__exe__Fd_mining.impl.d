@@ -1,0 +1,1 @@
+examples/fd_mining.ml: Attribute Database Dbre Deps Fd Fd_infer Format Ind Ind_infer List Relation Relational Schema Workload

@@ -1,0 +1,1 @@
+examples/hospital_conceptual.ml: Database Dbre Er Filename Format List Relation Relational Schema String Workload

@@ -1,0 +1,1 @@
+examples/legacy_payroll.ml: Database Dbre Format List Relation Relational Schema Sqlx String Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Dbre Deps Er Filename Format List Relational Schema Sqlx Workload

@@ -1,0 +1,1 @@
+lib/dbre/ind_discovery.ml: Database Deps Hashtbl Ind List Oracle Printf Relation Relational Schema Sqlx Table

@@ -1,0 +1,1 @@
+lib/dbre/ind_discovery.mli: Database Deps Ind Oracle Relation Relational Sqlx

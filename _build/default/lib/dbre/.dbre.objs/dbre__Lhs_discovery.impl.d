@@ -1,0 +1,1 @@
+lib/dbre/lhs_discovery.ml: Attribute Deps Ind List Relational Schema

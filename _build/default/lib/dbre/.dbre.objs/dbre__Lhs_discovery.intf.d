@@ -1,0 +1,1 @@
+lib/dbre/lhs_discovery.mli: Attribute Deps Ind Relational Schema

@@ -1,0 +1,1 @@
+lib/dbre/migration.ml: Attribute Buffer Deps Fd Ind Ind_discovery List Oracle Pipeline Printf Relation Relational Restruct Rhs_discovery Schema Sqlx String

@@ -1,0 +1,1 @@
+lib/dbre/migration.mli: Pipeline Relational

@@ -1,0 +1,1 @@
+lib/dbre/oracle.ml: Attribute Deps Fd Format Ind List Printf Relational Sqlx String

@@ -1,0 +1,1 @@
+lib/dbre/oracle.mli: Attribute Deps Fd Format Ind Relational Sqlx

@@ -1,0 +1,1 @@
+lib/dbre/pipeline.ml: Database Deps Fd Ind_discovery Lhs_discovery List Normal_forms Oracle Relation Relational Restruct Rhs_discovery Schema Sqlx String Translate

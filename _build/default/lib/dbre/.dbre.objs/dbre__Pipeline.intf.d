@@ -1,0 +1,1 @@
+lib/dbre/pipeline.mli: Database Deps Ind_discovery Lhs_discovery Oracle Relational Restruct Rhs_discovery Sqlx Translate

@@ -1,0 +1,1 @@
+lib/dbre/report.ml: Attribute Buffer Deps Er Fd Format Ind Ind_closure Ind_discovery Lhs_discovery List Oracle Pipeline Printf Relational Restruct Rhs_discovery Schema Sqlx String Translate

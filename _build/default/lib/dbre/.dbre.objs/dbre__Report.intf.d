@@ -1,0 +1,1 @@
+lib/dbre/report.mli: Attribute Deps Fd Format Ind Ind_discovery Oracle Pipeline Relational Rhs_discovery Schema Sqlx

@@ -1,0 +1,1 @@
+lib/dbre/restruct.ml: Array Attribute Database Deps Fd Hashtbl Ind List Option Oracle Printf Relation Relational Schema String Table Tuple

@@ -1,0 +1,1 @@
+lib/dbre/restruct.mli: Attribute Database Deps Fd Ind Oracle Relational Schema

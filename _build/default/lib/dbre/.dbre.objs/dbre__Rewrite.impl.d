@@ -1,0 +1,1 @@
+lib/dbre/rewrite.ml: Ast Attribute Deps Fd List Option Parser Pipeline Pretty Printf Relation Relational Restruct Rhs_discovery Schema Sqlx String

@@ -1,0 +1,1 @@
+lib/dbre/rewrite.mli: Pipeline Sqlx

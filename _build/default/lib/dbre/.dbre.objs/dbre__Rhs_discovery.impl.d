@@ -1,0 +1,1 @@
+lib/dbre/rhs_discovery.ml: Attribute Database Deps Fd Fd_infer List Oracle Relation Relational Schema

@@ -1,0 +1,1 @@
+lib/dbre/rhs_discovery.mli: Attribute Database Deps Fd Oracle Relational

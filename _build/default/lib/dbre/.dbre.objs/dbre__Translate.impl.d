@@ -1,0 +1,1 @@
+lib/dbre/translate.ml: Array Attribute Database Deps Er Hashtbl Ind List Option Printf Relation Relational Schema String Table Tuple

@@ -1,0 +1,1 @@
+lib/dbre/translate.mli: Database Deps Er Ind Relational Schema

@@ -1,0 +1,111 @@
+open Relational
+open Deps
+
+type case =
+  | Empty_intersection
+  | Included of Ind.t list
+  | Nei of Oracle.nei_decision
+
+type step = { join : Sqlx.Equijoin.t; counts : Ind.counts; case : case }
+
+type result = {
+  inds : Ind.t list;
+  new_relations : Relation.t list;
+  steps : step list;
+}
+
+let join_resolvable db (j : Sqlx.Equijoin.t) =
+  let side rel attrs =
+    match Database.table_opt db rel with
+    | None -> false
+    | Some t -> List.for_all (Relation.has_attr (Table.schema t)) attrs
+  in
+  side j.Sqlx.Equijoin.rel1 j.Sqlx.Equijoin.attrs1
+  && side j.Sqlx.Equijoin.rel2 j.Sqlx.Equijoin.attrs2
+
+(* materialize the intersection of the two projections as a new relation *)
+let conceptualize db (j : Sqlx.Equijoin.t) name =
+  let t1 = Database.table db j.Sqlx.Equijoin.rel1 in
+  let t2 = Database.table db j.Sqlx.Equijoin.rel2 in
+  let attrs = j.Sqlx.Equijoin.attrs1 in
+  let domains =
+    List.map (fun a -> (a, Relation.domain_of (Table.schema t1) a)) attrs
+  in
+  let rel = Relation.make ~domains ~uniques:[ attrs ] name attrs in
+  Database.add_relation db rel;
+  let d1 = Table.distinct_table t1 j.Sqlx.Equijoin.attrs1 in
+  let d2 = Table.distinct_table t2 j.Sqlx.Equijoin.attrs2 in
+  Hashtbl.iter
+    (fun values () ->
+      if Hashtbl.mem d2 values then Database.insert db name values)
+    d1;
+  rel
+
+let fresh_name db base =
+  let rec go i =
+    let candidate = if i = 0 then base else Printf.sprintf "%s_%d" base i in
+    if Schema.mem (Database.schema db) candidate then go (i + 1) else candidate
+  in
+  go 0
+
+let run (oracle : Oracle.t) db joins =
+  let inds = ref [] and new_relations = ref [] and steps = ref [] in
+  let add_ind ind =
+    if not (List.exists (Ind.equal ind) !inds) then inds := ind :: !inds
+  in
+  let process (j : Sqlx.Equijoin.t) =
+    if not (join_resolvable db j) then
+      steps :=
+        {
+          join = j;
+          counts = { Ind.n_left = 0; n_right = 0; n_join = 0 };
+          case = Empty_intersection;
+        }
+        :: !steps
+    else begin
+      let left = (j.Sqlx.Equijoin.rel1, j.Sqlx.Equijoin.attrs1) in
+      let right = (j.Sqlx.Equijoin.rel2, j.Sqlx.Equijoin.attrs2) in
+      let n_left = Database.count_distinct db (fst left) (snd left) in
+      let n_right = Database.count_distinct db (fst right) (snd right) in
+      let n_join = Database.join_count db left right in
+      let counts = { Ind.n_left; n_right; n_join } in
+      let case =
+        if n_join = 0 then Empty_intersection
+        else if n_join = n_left || n_join = n_right then begin
+          let elicited = ref [] in
+          if n_join = n_left && n_left <= n_right then begin
+            let ind = Ind.make left right in
+            add_ind ind;
+            elicited := ind :: !elicited
+          end;
+          if n_join = n_right && n_right <= n_left then begin
+            let ind = Ind.make right left in
+            add_ind ind;
+            elicited := ind :: !elicited
+          end;
+          Included (List.rev !elicited)
+        end
+        else begin
+          let decision = oracle.Oracle.on_nei { Oracle.join = j; counts } in
+          (match decision with
+          | Oracle.Conceptualize name ->
+              let name = fresh_name db name in
+              let rel = conceptualize db j name in
+              new_relations := rel :: !new_relations;
+              add_ind (Ind.make (name, rel.Relation.attrs) left);
+              add_ind (Ind.make (name, rel.Relation.attrs) right)
+          | Oracle.Force_left_in_right -> add_ind (Ind.make left right)
+          | Oracle.Force_right_in_left -> add_ind (Ind.make right left)
+          | Oracle.Ignore_nei -> ());
+          Nei decision
+        end
+      in
+      steps := { join = j; counts; case } :: !steps
+    end
+  in
+  List.iter process joins;
+  {
+    inds = List.rev !inds;
+    new_relations = List.rev !new_relations;
+    steps = List.rev !steps;
+  }

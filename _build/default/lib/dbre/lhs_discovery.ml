@@ -1,0 +1,38 @@
+open Relational
+open Deps
+
+type result = { lhs : Attribute.t list; hidden : Attribute.t list }
+
+let run ~schema ~s_names inds =
+  let lhs = ref [] and hidden = ref [] in
+  let add cell (qattr : Attribute.t) =
+    if not (List.exists (Attribute.equal qattr) !cell) then
+      cell := qattr :: !cell
+  in
+  let is_key rel attrs =
+    Schema.is_key schema rel (Attribute.Names.normalize attrs)
+  in
+  List.iter
+    (fun (ind : Ind.t) ->
+      let in_s = List.mem ind.Ind.lhs_rel s_names in
+      if in_s then begin
+        (* case (i): the expert already conceptualized a subset of the
+           right side's values *)
+        if not (is_key ind.Ind.rhs_rel ind.Ind.rhs_attrs) then
+          add hidden (Attribute.make ind.Ind.rhs_rel ind.Ind.rhs_attrs)
+      end
+      else begin
+        (* cases (ii)/(iii): non-key sides are candidate identifiers *)
+        if not (is_key ind.Ind.lhs_rel ind.Ind.lhs_attrs) then
+          add lhs (Attribute.make ind.Ind.lhs_rel ind.Ind.lhs_attrs);
+        if not (is_key ind.Ind.rhs_rel ind.Ind.rhs_attrs) then
+          add lhs (Attribute.make ind.Ind.rhs_rel ind.Ind.rhs_attrs)
+      end)
+    inds;
+  let hidden = List.rev !hidden in
+  let lhs =
+    List.filter
+      (fun a -> not (List.exists (Attribute.equal a) hidden))
+      (List.rev !lhs)
+  in
+  { lhs; hidden }

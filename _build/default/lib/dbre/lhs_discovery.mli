@@ -1,0 +1,28 @@
+(** The LHS-Discovery algorithm (§6.2.1).
+
+    Scans the elicited IND set for non-key attribute sets — candidate
+    identifiers of objects not represented by relations:
+
+    - when the IND's left relation belongs to [S] (it conceptualizes an
+      NEI), the right-hand side joins the hidden-object set [H] if it is
+      not a key (the expert already decided a subset of its values is an
+      object) — case (i);
+    - otherwise each non-key side becomes a candidate left-hand side in
+      [LHS] — cases (ii)/(iii).
+
+    "Non-key" means: not declared as a (whole) unique constraint —
+    an attribute {e participating} in a composite key still qualifies
+    (e.g. [Assignment.emp] in the paper's example). *)
+
+open Relational
+open Deps
+
+type result = {
+  lhs : Attribute.t list;  (** candidate FD left-hand sides, scan order *)
+  hidden : Attribute.t list;  (** the initial hidden-object set [H] *)
+}
+
+val run : schema:Schema.t -> s_names:string list -> Ind.t list -> result
+(** [run ~schema ~s_names inds] — [s_names] are the relations of [S]
+    (conceptualized during IND-Discovery). Duplicates are removed; an
+    attribute set reaching both [H] and [LHS] is kept in [H] only. *)

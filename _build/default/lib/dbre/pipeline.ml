@@ -1,0 +1,115 @@
+open Relational
+open Deps
+
+type input =
+  | Equijoins of Sqlx.Equijoin.t list
+  | Programs of string list
+  | Sql_scripts of string list
+
+type config = {
+  oracle : Oracle.t;
+  fd_engine : [ `Naive | `Partition ];
+  migrate_data : bool;
+}
+
+let default_config =
+  { oracle = Oracle.automatic; fd_engine = `Naive; migrate_data = true }
+
+type result = {
+  equijoins : Sqlx.Equijoin.t list;
+  ind_result : Ind_discovery.result;
+  lhs_result : Lhs_discovery.result;
+  rhs_result : Rhs_discovery.result;
+  restruct_result : Restruct.result;
+  translate_result : Translate.result;
+  events : Oracle.event list;
+}
+
+let extract_equijoins db = function
+  | Equijoins q -> q
+  | Programs sources ->
+      let extraction = Sqlx.Embedded.scan_files sources in
+      Sqlx.Equijoin.dedupe
+        (List.concat_map
+           (Sqlx.Equijoin.of_statement (Database.schema db))
+           extraction.Sqlx.Embedded.statements)
+  | Sql_scripts scripts ->
+      Sqlx.Equijoin.dedupe
+        (List.concat_map
+           (Sqlx.Equijoin.of_script (Database.schema db))
+           scripts)
+
+let run ?(config = default_config) db input =
+  let oracle, events = Oracle.traced config.oracle in
+  let equijoins = extract_equijoins db input in
+  let ind_result = Ind_discovery.run oracle db equijoins in
+  let schema = Database.schema db in
+  let s_names =
+    List.map
+      (fun r -> r.Relation.name)
+      ind_result.Ind_discovery.new_relations
+  in
+  let lhs_result =
+    Lhs_discovery.run ~schema ~s_names ind_result.Ind_discovery.inds
+  in
+  let rhs_result =
+    Rhs_discovery.run ~engine:config.fd_engine oracle db
+      ~lhs:lhs_result.Lhs_discovery.lhs
+      ~hidden:lhs_result.Lhs_discovery.hidden
+  in
+  let restruct_result =
+    Restruct.run oracle
+      ?db:(if config.migrate_data then Some db else None)
+      ~schema:(Database.schema db)
+      ~fds:rhs_result.Rhs_discovery.fds
+      ~hidden:rhs_result.Rhs_discovery.hidden
+      ~inds:ind_result.Ind_discovery.inds ()
+  in
+  let translate_result =
+    Translate.run
+      ?db:restruct_result.Restruct.database
+      ~schema:restruct_result.Restruct.schema
+      restruct_result.Restruct.ric
+  in
+  {
+    equijoins;
+    ind_result;
+    lhs_result;
+    rhs_result;
+    restruct_result;
+    translate_result;
+    events = events ();
+  }
+
+let nf_report result =
+  let schema = result.restruct_result.Restruct.schema in
+  let fds = result.rhs_result.Rhs_discovery.fds in
+  List.map
+    (fun rel ->
+      let name = rel.Relation.name in
+      (* the FDs bearing on this relation: elicited ones that survived
+         (their RHS may have moved out), plus key FDs *)
+      let all = rel.Relation.attrs in
+      let key_fds =
+        List.filter_map
+          (fun k ->
+            let rhs = Relational.Attribute.Names.diff
+                (Relational.Attribute.Names.normalize all) k
+            in
+            if rhs = [] then None else Some (Fd.make name k rhs))
+          rel.Relation.uniques
+      in
+      let local_fds =
+        List.filter_map
+          (fun (fd : Fd.t) ->
+            if
+              String.equal fd.Fd.rel name
+              && List.for_all (fun a -> Relation.has_attr rel a) fd.Fd.lhs
+            then
+              let rhs = List.filter (Relation.has_attr rel) fd.Fd.rhs in
+              if rhs = [] then None else Some (Fd.make name fd.Fd.lhs rhs)
+            else None)
+          fds
+      in
+      (name, Normal_forms.normal_form (key_fds @ local_fds) ~all))
+    (Schema.relations schema)

@@ -1,0 +1,97 @@
+open Relational
+open Deps
+
+type outcome =
+  | Fd_elicited of Fd.t
+  | Became_hidden
+  | Dropped
+  | Already_hidden
+
+type step = {
+  candidate : Attribute.t;
+  pruned_rhs : string list;
+  outcome : outcome;
+}
+
+type result = { fds : Fd.t list; hidden : Attribute.t list; steps : step list }
+
+let run ?(engine = `Naive) (oracle : Oracle.t) db ~lhs ~hidden =
+  let schema = Database.schema db in
+  let fds = ref [] and out_hidden = ref [] and steps = ref [] in
+  let in_h (a : Attribute.t) = List.exists (Attribute.equal a) hidden in
+  let keep_hidden a =
+    if not (List.exists (Attribute.equal a) !out_hidden) then
+      out_hidden := a :: !out_hidden
+  in
+  let process (a : Attribute.t) =
+    match Schema.find schema a.Attribute.rel with
+    | None ->
+        steps := { candidate = a; pruned_rhs = []; outcome = Dropped } :: !steps
+    | Some relation ->
+        let table = Database.table db a.Attribute.rel in
+        let x_i = relation.Relation.attrs in
+        let k_i = Relation.key_attrs relation in
+        let a_attrs = a.Attribute.attrs in
+        (* T = X_i - A - K_i *)
+        let t0 =
+          List.filter
+            (fun b ->
+              (not (Attribute.Names.mem b a_attrs))
+              && not (Attribute.Names.mem b k_i))
+            x_i
+        in
+        (* if A not null-free, drop the not-null attributes *)
+        let a_not_null =
+          List.for_all
+            (fun x -> Schema.attr_not_null schema a.Attribute.rel x)
+            a_attrs
+        in
+        let t =
+          if a_not_null then t0
+          else
+            List.filter
+              (fun b -> not (Schema.attr_not_null schema a.Attribute.rel b))
+              t0
+        in
+        let b =
+          List.filter
+            (fun bt ->
+              let fd = Fd.make a.Attribute.rel a_attrs [ bt ] in
+              if Fd_infer.holds ~engine table fd then true
+              else
+                oracle.Oracle.enforce_fd ~rel:a.Attribute.rel ~lhs:a_attrs
+                  ~attr:bt)
+            t
+        in
+        let outcome =
+          if b <> [] then begin
+            let fd = Fd.make a.Attribute.rel a_attrs b in
+            if oracle.Oracle.validate_fd fd then begin
+              fds := fd :: !fds;
+              (* if A was in H it is now conceptualized in F *)
+              Fd_elicited fd
+            end
+            else if in_h a then begin
+              keep_hidden a;
+              Already_hidden
+            end
+            else Dropped
+          end
+          else if in_h a then begin
+            keep_hidden a;
+            Already_hidden
+          end
+          else if oracle.Oracle.conceptualize_hidden a then begin
+            keep_hidden a;
+            Became_hidden
+          end
+          else Dropped
+        in
+        steps := { candidate = a; pruned_rhs = t; outcome } :: !steps
+  in
+  List.iter process (lhs @ hidden);
+  {
+    fds = List.rev !fds;
+    hidden = List.rev !out_hidden;
+    steps = List.rev !steps;
+  }

@@ -1,0 +1,46 @@
+(** The RHS-Discovery algorithm (§6.2.2).
+
+    For each candidate [R_i.A ∈ LHS ∪ H], find the right-hand side of a
+    relevant functional dependency:
+
+    + prune the candidate RHS attributes [T = X_i - A - K_i] (the keys
+      are out — we only target 3NF), and when [A] is nullable also drop
+      the not-null attributes of [R_i] (a nullable identifier cannot
+      determine a total attribute);
+    + for each [b ∈ T], test [A -> b] against the extension; on failure
+      the expert may still {e enforce} it (corrupted extensions);
+    + a non-empty RHS [B] yields [R_i : A -> B] (subject to expert
+      validation), and removes [A] from [H] if present;
+    + an empty RHS makes [A] a candidate hidden object: kept if the
+      expert conceptualizes it, dropped otherwise. *)
+
+open Relational
+open Deps
+
+type outcome =
+  | Fd_elicited of Fd.t  (** case (iii) *)
+  | Became_hidden  (** case (iv) *)
+  | Dropped  (** case (v), or FD rejected by the expert *)
+  | Already_hidden  (** empty RHS for a candidate that was in [H] *)
+
+type step = {
+  candidate : Attribute.t;
+  pruned_rhs : string list;  (** the [T] actually tested *)
+  outcome : outcome;
+}
+
+type result = {
+  fds : Fd.t list;  (** the elicited set [F] *)
+  hidden : Attribute.t list;  (** the final [H] *)
+  steps : step list;
+}
+
+val run :
+  ?engine:[ `Naive | `Partition ] ->
+  Oracle.t ->
+  Database.t ->
+  lhs:Attribute.t list ->
+  hidden:Attribute.t list ->
+  result
+(** [engine] selects the FD-check implementation (default [`Naive]).
+    Candidates over unknown relations are dropped. *)

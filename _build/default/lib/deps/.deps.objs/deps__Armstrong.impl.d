@@ -1,0 +1,1 @@
+lib/deps/armstrong.ml: Array Attribute Closure Hashtbl List Relation Relational Table Value

@@ -1,0 +1,1 @@
+lib/deps/armstrong.mli: Fd Relational Table

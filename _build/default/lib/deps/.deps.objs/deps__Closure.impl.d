@@ -1,0 +1,1 @@
+lib/deps/closure.ml: Array Attribute Fd List Relational

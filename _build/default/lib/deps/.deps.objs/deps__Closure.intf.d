@@ -1,0 +1,1 @@
+lib/deps/closure.mli: Fd

@@ -1,0 +1,1 @@
+lib/deps/fd.ml: Array Attribute Format Hashtbl List Printf Relational Stdlib String Table Tuple Value

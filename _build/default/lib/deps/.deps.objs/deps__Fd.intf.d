@@ -1,0 +1,1 @@
+lib/deps/fd.mli: Format Relational Set Table Value

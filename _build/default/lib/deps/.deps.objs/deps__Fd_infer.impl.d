@@ -1,0 +1,1 @@
+lib/deps/fd_infer.ml: Array Attribute Fd Hashtbl List Option Partition Relation Relational Table Tuple Value

@@ -1,0 +1,1 @@
+lib/deps/fd_infer.mli: Fd Relational Table

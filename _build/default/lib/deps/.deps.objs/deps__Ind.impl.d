@@ -1,0 +1,1 @@
+lib/deps/ind.ml: Attribute Database Format Hashtbl List Printf Relational Schema Stdlib String Table

@@ -1,0 +1,1 @@
+lib/deps/ind.mli: Attribute Database Format Relational Schema Set

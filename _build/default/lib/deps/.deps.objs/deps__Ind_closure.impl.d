@@ -1,0 +1,1 @@
+lib/deps/ind_closure.ml: Hashtbl Ind List Queue String

@@ -1,0 +1,1 @@
+lib/deps/ind_infer.ml: Array Database Domain Hashtbl Ind List Relation Relational Schema Table

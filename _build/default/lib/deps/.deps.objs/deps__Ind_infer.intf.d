@@ -1,0 +1,1 @@
+lib/deps/ind_infer.mli: Database Ind Relational

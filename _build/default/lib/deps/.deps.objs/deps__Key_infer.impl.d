@@ -1,0 +1,1 @@
+lib/deps/key_infer.ml: Array Attribute Database Hashtbl Int List Relation Relational Schema Table Tuple

@@ -1,0 +1,1 @@
+lib/deps/key_infer.mli: Database Relational Table

@@ -1,0 +1,1 @@
+lib/deps/normal_forms.ml: Attribute Closure Fd Format List Relation Relational

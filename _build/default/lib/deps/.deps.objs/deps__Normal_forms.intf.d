@@ -1,0 +1,1 @@
+lib/deps/normal_forms.mli: Fd Format Relation Relational

@@ -1,0 +1,1 @@
+lib/deps/partition.ml: Array Hashtbl List Relational Table Tuple

@@ -1,0 +1,1 @@
+lib/deps/partition.mli: Relational Table

@@ -1,0 +1,117 @@
+open Relational
+
+let closure fds x =
+  let x = Attribute.Names.normalize x in
+  let rec go acc =
+    let next =
+      List.fold_left
+        (fun acc (fd : Fd.t) ->
+          if Attribute.Names.subset fd.lhs acc then
+            Attribute.Names.union acc fd.rhs
+          else acc)
+        acc fds
+    in
+    if Attribute.Names.equal next acc then acc else go next
+  in
+  go x
+
+let implies fds (f : Fd.t) = Attribute.Names.subset f.rhs (closure fds f.lhs)
+
+let equivalent fds1 fds2 =
+  List.for_all (implies fds1) fds2 && List.for_all (implies fds2) fds1
+
+let is_superkey fds ~all x = Attribute.Names.subset (Attribute.Names.normalize all) (closure fds x)
+
+let candidate_keys fds ~all =
+  let all = Attribute.Names.normalize all in
+  (* attributes never derived (in no RHS) must be in every key *)
+  let derived =
+    List.fold_left
+      (fun acc (fd : Fd.t) -> Attribute.Names.union acc fd.rhs)
+      [] fds
+  in
+  let core = Attribute.Names.diff all derived in
+  let periphery =
+    (* only attributes appearing in some LHS can usefully extend the core *)
+    let in_lhs =
+      List.fold_left
+        (fun acc (fd : Fd.t) -> Attribute.Names.union acc fd.lhs)
+        [] fds
+    in
+    Attribute.Names.diff (Attribute.Names.inter all in_lhs) core
+  in
+  if is_superkey fds ~all core then [ core ]
+  else begin
+    (* breadth-first over subsets of periphery, smallest first, pruning
+       supersets of found keys *)
+    let keys = ref [] in
+    let is_superset_of_key x =
+      List.exists (fun k -> Attribute.Names.subset k x) !keys
+    in
+    let n = List.length periphery in
+    let parr = Array.of_list periphery in
+    for size = 0 to n do
+      (* enumerate subsets of [periphery] of cardinality [size] *)
+      let rec choose start acc count =
+        if count = 0 then begin
+          let cand = Attribute.Names.union core acc in
+          if (not (is_superset_of_key cand)) && is_superkey fds ~all cand then
+            keys := cand :: !keys
+        end
+        else
+          for i = start to n - count do
+            choose (i + 1) (parr.(i) :: acc) (count - 1)
+          done
+      in
+      choose 0 [] size
+    done;
+    List.sort Attribute.Names.compare !keys
+  end
+
+let minimal_cover fds =
+  (* 1. singleton RHS *)
+  let singles = List.concat_map Fd.split_rhs fds in
+  (* 2. remove extraneous LHS attributes *)
+  let reduce_lhs (fd : Fd.t) =
+    let rec shrink lhs =
+      match
+        List.find_opt
+          (fun a ->
+            let smaller = Attribute.Names.diff lhs [ a ] in
+            smaller <> []
+            && Attribute.Names.subset fd.rhs (closure singles smaller))
+          lhs
+      with
+      | None -> lhs
+      | Some a -> shrink (Attribute.Names.diff lhs [ a ])
+    in
+    Fd.make fd.rel (shrink fd.lhs) fd.rhs
+  in
+  let reduced = List.map reduce_lhs singles in
+  (* 3. drop redundant FDs *)
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | fd :: rest ->
+        let others = List.rev_append kept rest in
+        if implies others fd then prune kept rest else prune (fd :: kept) rest
+  in
+  let pruned = prune [] reduced in
+  List.sort_uniq Fd.compare pruned
+
+let project_fds fds ~onto ~rel =
+  let onto = Attribute.Names.normalize onto in
+  let arr = Array.of_list onto in
+  let n = Array.length arr in
+  let results = ref [] in
+  (* every non-empty proper subset of onto *)
+  for mask = 1 to (1 lsl n) - 1 do
+    let x = ref [] in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then x := arr.(i) :: !x
+    done;
+    let x = Attribute.Names.normalize !x in
+    let cx = Attribute.Names.inter (closure fds x) onto in
+    let rhs = Attribute.Names.diff cx x in
+    if rhs <> [] then results := Fd.make rel x rhs :: !results
+  done;
+  minimal_cover !results

@@ -1,0 +1,35 @@
+(** Armstrong-axiom reasoning over functional dependencies: attribute-set
+    closure, implication, minimal covers and candidate keys.
+
+    All functions take the FD list of a {e single} relation; the relation
+    names carried by the FDs are ignored. Attribute lists are normalized
+    internally. *)
+
+val closure : Fd.t list -> string list -> string list
+(** [closure fds x] is [x⁺] under [fds] (canonical). Linear-time
+    fixpoint in the total size of [fds]. *)
+
+val implies : Fd.t list -> Fd.t -> bool
+(** [implies fds f] — does [fds ⊨ f] (i.e. [f.rhs ⊆ closure fds f.lhs])? *)
+
+val equivalent : Fd.t list -> Fd.t list -> bool
+(** Mutual implication of two covers. *)
+
+val is_superkey : Fd.t list -> all:string list -> string list -> bool
+(** [is_superkey fds ~all x]: does [x⁺] cover [all]? *)
+
+val candidate_keys : Fd.t list -> all:string list -> string list list
+(** All minimal keys of a relation with attributes [all] under [fds],
+    each canonical, sorted lexicographically. Exponential in the worst
+    case; intended for the small schemas a DBRE process manipulates.
+    Uses the standard core/periphery pruning: attributes appearing in no
+    RHS must belong to every key. *)
+
+val minimal_cover : Fd.t list -> Fd.t list
+(** A minimal (canonical) cover: singleton RHSes, no extraneous LHS
+    attribute, no redundant FD. Deterministic for a given input order. *)
+
+val project_fds : Fd.t list -> onto:string list -> rel:string -> Fd.t list
+(** FDs implied on a sub-schema [onto] (computed by closing every subset
+    of [onto]; exponential in [|onto|], reserved for small relations).
+    The result is a minimal cover carrying relation name [rel]. *)

@@ -1,0 +1,50 @@
+(** Functional dependencies [R : X -> Y].
+
+    Attribute lists are kept canonical (sorted, duplicate-free); use
+    {!make}. The right-hand side never overlaps the left-hand side. *)
+
+open Relational
+
+type t = private { rel : string; lhs : string list; rhs : string list }
+
+val make : string -> string list -> string list -> t
+(** [make r x y] builds [r : x -> y] with [y := y \ x]. Raises
+    [Invalid_argument] when [x] is empty or [y \ x] is empty. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val trivial : t -> bool
+(** Always false by construction (RHS never overlaps LHS); kept for
+    symmetry with textbook definitions and future use on raw pairs. *)
+
+val split_rhs : t -> t list
+(** One FD per right-hand-side attribute. *)
+
+val combine : t list -> t list
+(** Group FDs with the same relation and LHS, merging the RHSes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper notation: [R: a,b -> c,d]. *)
+
+val to_string : t -> string
+
+val parse : string -> t
+(** Inverse of {!to_string}: ["R: a,b -> c"]. Raises [Failure] on a
+    malformed input. *)
+
+val satisfied_by : Table.t -> t -> bool
+(** Check of the §2 definition: for all tuples [t], [t'],
+    [t[X] = t'[X] ⇒ t[Y] = t'[Y]], restricted to tuples whose [X]
+    projection is NULL-free — a NULL identifier denotes "no object
+    present" and cannot contradict the dependency (the paper elicits
+    FDs from nullable identifiers such as [Department.emp]). On the
+    RHS, NULL compares equal to NULL. The FD's relation name is not
+    checked against the table. *)
+
+val violations : Table.t -> t -> ((Value.t list * Value.t list) * (Value.t list * Value.t list)) list
+(** Witnesses of violation: pairs of [(lhs values, rhs values)] groups
+    that share the LHS but differ on the RHS; at most one witness pair is
+    reported per conflicting LHS value. *)
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,208 @@
+open Relational
+
+let holds_naive table (fd : Fd.t) =
+  let lidx = Table.positions table fd.lhs in
+  let ridx = Table.positions table fd.rhs in
+  let seen = Hashtbl.create (max 16 (Table.cardinality table)) in
+  try
+    Array.iter
+      (fun tup ->
+        (* NULL-LHS rows carry no identifier: they never contradict *)
+        if not (Tuple.has_null_at lidx tup) then begin
+          let key = Tuple.project_list lidx tup in
+          let rhs = Tuple.project_list ridx tup in
+          match Hashtbl.find_opt seen key with
+          | Some rhs0 -> if rhs0 <> rhs then raise Exit
+          | None -> Hashtbl.add seen key rhs
+        end)
+      (Table.rows table);
+    true
+  with Exit -> false
+
+let holds_partition table (fd : Fd.t) =
+  let lidx = Table.positions table fd.lhs in
+  let keep tup = not (Tuple.has_null_at lidx tup) in
+  let p_lhs = Partition.of_table ~keep table fd.lhs in
+  let p_both =
+    Partition.of_table ~keep table (Attribute.Names.union fd.lhs fd.rhs)
+  in
+  Partition.fd_holds ~lhs:p_lhs ~lhs_rhs:p_both
+
+let holds ?(engine = `Naive) table fd =
+  match engine with
+  | `Naive -> holds_naive table fd
+  | `Partition -> holds_partition table fd
+
+let error_rate table (fd : Fd.t) =
+  let n = Table.cardinality table in
+  if n = 0 then 0.0
+  else begin
+    (* g3: n minus the size of a maximum consistent subset; for an FD the
+       maximum subset keeps, per LHS value, the most frequent RHS value *)
+    let lidx = Table.positions table fd.lhs in
+    let ridx = Table.positions table fd.rhs in
+    let per_lhs : (Value.t list, (Value.t list, int) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let nulls = ref 0 in
+    Array.iter
+      (fun tup ->
+        if Tuple.has_null_at lidx tup then incr nulls
+        else
+        let key = Tuple.project_list lidx tup in
+        let rhs = Tuple.project_list ridx tup in
+        let inner =
+          match Hashtbl.find_opt per_lhs key with
+          | Some h -> h
+          | None ->
+              let h = Hashtbl.create 4 in
+              Hashtbl.add per_lhs key h;
+              h
+        in
+        Hashtbl.replace inner rhs
+          (1 + Option.value ~default:0 (Hashtbl.find_opt inner rhs)))
+      (Table.rows table);
+    let kept =
+      Hashtbl.fold
+        (fun _ inner acc ->
+          acc + Hashtbl.fold (fun _ c best -> max c best) inner 0)
+        per_lhs 0
+    in
+    float_of_int (n - kept - !nulls) /. float_of_int n
+  end
+
+type stats = { candidates_tested : int; fds_found : int }
+
+let discover ?(max_lhs = 3) ~rel table =
+  let attrs = (Table.schema table).Relation.attrs in
+  let tested = ref 0 in
+  let found : Fd.t list ref = ref [] in
+  (* minimal-LHS bookkeeping: per RHS attribute, the LHSes already found *)
+  let minimal_lhs : (string, string list list) Hashtbl.t = Hashtbl.create 16 in
+  let covered_by_smaller rhs lhs =
+    match Hashtbl.find_opt minimal_lhs rhs with
+    | None -> false
+    | Some ls -> List.exists (fun l -> Attribute.Names.subset l lhs) ls
+  in
+  (* key pruning: once an LHS is a key (unique), every FD from it holds
+     trivially and no superset is minimal *)
+  let keys : string list list ref = ref [] in
+  let superset_of_key lhs =
+    List.exists (fun k -> Attribute.Names.subset k lhs) !keys
+  in
+  let arr = Array.of_list attrs in
+  let n = Array.length arr in
+  let max_lhs = min max_lhs n in
+  for size = 1 to max_lhs do
+    let rec choose start acc count =
+      if count = 0 then begin
+        let lhs = Attribute.Names.normalize acc in
+        if not (superset_of_key lhs) then begin
+          if Table.count_distinct table lhs = Table.cardinality table then
+            (* unique: record as key, emit FDs to all remaining attrs *)
+            keys := lhs :: !keys;
+          List.iter
+            (fun a ->
+              if (not (Attribute.Names.mem a lhs)) && not (covered_by_smaller a lhs)
+              then begin
+                incr tested;
+                let fd = Fd.make rel lhs [ a ] in
+                if holds_naive table fd then begin
+                  found := fd :: !found;
+                  Hashtbl.replace minimal_lhs a
+                    (lhs
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt minimal_lhs a))
+                end
+              end)
+            attrs
+        end
+      end
+      else
+        for i = start to n - count do
+          choose (i + 1) (arr.(i) :: acc) (count - 1)
+        done
+    in
+    choose 0 [] size
+  done;
+  let fds = Fd.combine (List.rev !found) in
+  (fds, { candidates_tested = !tested; fds_found = List.length !found })
+
+let discover_tane ?(max_lhs = 3) ~rel table =
+  let attrs = (Table.schema table).Relation.attrs in
+  let arr = Array.of_list (Attribute.Names.normalize attrs) in
+  let n = Array.length arr in
+  let max_lhs = min max_lhs n in
+  (* memoized stripped partitions keyed by canonical attribute sets *)
+  let partitions : (string list, Partition.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec partition_of set =
+    match Hashtbl.find_opt partitions set with
+    | Some p -> p
+    | None ->
+        let p =
+          match set with
+          | [] -> invalid_arg "discover_tane: empty attribute set"
+          | [ a ] -> Partition.of_table table [ a ]
+          | a :: rest -> Partition.product (partition_of [ a ]) (partition_of rest)
+        in
+        Hashtbl.add partitions set p;
+        p
+  in
+  let tested = ref 0 in
+  let found : Fd.t list ref = ref [] in
+  let minimal_lhs : (string, string list list) Hashtbl.t = Hashtbl.create 16 in
+  let covered_by_smaller rhs lhs =
+    match Hashtbl.find_opt minimal_lhs rhs with
+    | None -> false
+    | Some ls -> List.exists (fun l -> Attribute.Names.subset l lhs) ls
+  in
+  let keys : string list list ref = ref [] in
+  let superset_of_key set =
+    List.exists (fun k -> Attribute.Names.subset k set) !keys
+  in
+  let cardinality = Table.cardinality table in
+  (* iterate LHS candidates by size, exactly as [discover] does, but test
+     through partitions: X -> a holds iff e(π_X) = e(π_{X∪a}) *)
+  for size = 1 to max_lhs do
+    let rec choose start acc count =
+      if count = 0 then begin
+        let lhs = Attribute.Names.normalize acc in
+        if not (superset_of_key lhs) then begin
+          let p_lhs = partition_of lhs in
+          if Partition.rank p_lhs = cardinality then keys := lhs :: !keys;
+          List.iter
+            (fun a ->
+              if
+                (not (Attribute.Names.mem a lhs))
+                && not (covered_by_smaller a lhs)
+              then begin
+                incr tested;
+                let p_both = partition_of (Attribute.Names.union lhs [ a ]) in
+                if Partition.fd_holds ~lhs:p_lhs ~lhs_rhs:p_both then begin
+                  found := Fd.make rel lhs [ a ] :: !found;
+                  Hashtbl.replace minimal_lhs a
+                    (lhs
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt minimal_lhs a))
+                end
+              end)
+            attrs
+        end
+      end
+      else
+        for i = start to n - count do
+          choose (i + 1) (arr.(i) :: acc) (count - 1)
+        done
+    in
+    choose 0 [] size
+  done;
+  let fds = Fd.combine (List.rev !found) in
+  (fds, { candidates_tested = !tested; fds_found = List.length !found })
+
+let discover_for_lhs ~rel table lhs =
+  let attrs = (Table.schema table).Relation.attrs in
+  let candidates = List.filter (fun a -> not (List.mem a lhs)) attrs in
+  let rhs =
+    List.filter (fun a -> holds_naive table (Fd.make rel lhs [ a ])) candidates
+  in
+  if rhs = [] then None else Some (Fd.make rel lhs rhs)

@@ -1,0 +1,106 @@
+let trivial (ind : Ind.t) =
+  String.equal ind.Ind.lhs_rel ind.Ind.rhs_rel
+  && ind.Ind.lhs_attrs = ind.Ind.rhs_attrs
+
+(* positions of [attrs] inside the sequence [inside]; None when some
+   attribute is missing *)
+let positions_in ~inside attrs =
+  let find a =
+    let rec go i = function
+      | [] -> None
+      | x :: _ when String.equal x a -> Some i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 inside
+  in
+  let rec all = function
+    | [] -> Some []
+    | a :: rest -> (
+        match (find a, all rest) with
+        | Some i, Some is -> Some (i :: is)
+        | _ -> None)
+  in
+  all attrs
+
+let implied given (target : Ind.t) =
+  if trivial target then true
+  else begin
+    let goal = (target.Ind.rhs_rel, target.Ind.rhs_attrs) in
+    let start = (target.Ind.lhs_rel, target.Ind.lhs_attrs) in
+    let visited = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Queue.add start queue;
+    Hashtbl.replace visited start ();
+    let rec bfs () =
+      if Queue.is_empty queue then false
+      else begin
+        let ((rel, attrs) as node) = Queue.pop queue in
+        if node = goal then true
+        else begin
+          List.iter
+            (fun (ind : Ind.t) ->
+              if String.equal ind.Ind.lhs_rel rel then
+                match positions_in ~inside:ind.Ind.lhs_attrs attrs with
+                | Some idxs ->
+                    let image =
+                      List.map (fun i -> List.nth ind.Ind.rhs_attrs i) idxs
+                    in
+                    let next = (ind.Ind.rhs_rel, image) in
+                    if not (Hashtbl.mem visited next) then begin
+                      Hashtbl.replace visited next ();
+                      Queue.add next queue
+                    end
+                | None -> ())
+            given;
+          bfs ()
+        end
+      end
+    in
+    bfs ()
+  end
+
+let minimal_cover inds =
+  let inds = List.filter (fun i -> not (trivial i)) inds in
+  (* drop duplicates first, then greedily drop implied INDs scanning from
+     the end so earlier (first-elicited) INDs are preferred *)
+  let deduped =
+    List.fold_left
+      (fun acc i -> if List.exists (Ind.equal i) acc then acc else acc @ [ i ])
+      [] inds
+  in
+  let rec prune kept = function
+    | [] -> kept
+    | ind :: rest ->
+        let others = kept @ rest in
+        if implied others ind then prune kept rest else prune (kept @ [ ind ]) rest
+  in
+  prune [] deduped
+
+let redundant inds =
+  let cover = minimal_cover inds in
+  List.filter
+    (fun i -> not (trivial i) && not (List.exists (Ind.equal i) cover))
+    (List.fold_left
+       (fun acc i -> if List.exists (Ind.equal i) acc then acc else acc @ [ i ])
+       [] inds)
+
+let closure_unary inds =
+  (* unary attribute nodes mentioned anywhere *)
+  let nodes =
+    List.concat_map
+      (fun (ind : Ind.t) ->
+        List.map (fun a -> (ind.Ind.lhs_rel, a)) ind.Ind.lhs_attrs
+        @ List.map (fun a -> (ind.Ind.rhs_rel, a)) ind.Ind.rhs_attrs)
+      inds
+    |> List.sort_uniq compare
+  in
+  List.concat_map
+    (fun (r1, a1) ->
+      List.filter_map
+        (fun (r2, a2) ->
+          if (r1, a1) = (r2, a2) then None
+          else
+            let candidate = Ind.make (r1, [ a1 ]) (r2, [ a2 ]) in
+            if implied inds candidate then Some candidate else None)
+        nodes)
+    nodes

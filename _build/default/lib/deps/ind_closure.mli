@@ -1,0 +1,32 @@
+(** Implication reasoning over inclusion dependencies.
+
+    Uses the Casanova–Fagin–Papadimitriou axiomatization:
+    reflexivity ([R[X] ≪ R[X]]), projection-and-permutation, and
+    transitivity. Implication is decided by a breadth-first search over
+    "aligned" applications of the given INDs: from [T[Z]], an IND
+    [T[U] ≪ V[W]] whose left side covers [Z] positionally rewrites the
+    goal to [V[Z↦W]].
+
+    Used to prune redundant referential constraints after Restruct and
+    to compare an elicited IND set against planted ground truth modulo
+    implication. *)
+
+val implied : Ind.t list -> Ind.t -> bool
+(** [implied given target] — does [given ⊢ target]? Sound and complete
+    for the projection/permutation/transitivity fragment; terminates
+    because only finitely many (relation, attribute-sequence) goals are
+    reachable. *)
+
+val minimal_cover : Ind.t list -> Ind.t list
+(** Remove (greedily, in reverse order) every IND implied by the
+    remaining ones. The result implies the input. Trivial INDs
+    ([R[X] ≪ R[X]]) are always dropped. *)
+
+val redundant : Ind.t list -> Ind.t list
+(** The INDs dropped by {!minimal_cover} (the interesting output for a
+    report: "these referential constraints follow from the others"). *)
+
+val closure_unary : Ind.t list -> Ind.t list
+(** All unary INDs derivable from the given set, restricted to the
+    attributes mentioned in it. Quadratic; used for reporting reachable
+    reference paths. *)

@@ -1,0 +1,27 @@
+(** Exhaustive unary inclusion-dependency discovery — the
+    Metanome/De Marchi-style baseline (experiment B2).
+
+    Contrary to the paper's query-guided elicitation (which only tests
+    attribute pairs named together in an equi-join), the baseline tests
+    {e every} ordered pair of attributes with compatible domains across
+    the whole schema. *)
+
+open Relational
+
+type stats = {
+  pairs_considered : int;  (** ordered attribute pairs in the schema *)
+  pairs_tested : int;  (** pairs surviving the domain-compatibility filter *)
+  inds_found : int;
+}
+
+val discover_unary : Database.t -> Ind.t list * stats
+(** All satisfied unary INDs [R.a ≪ S.b] with [(R, a) ≠ (S, b)], domain
+    filtering first, then a single shared value-index pass: for each
+    attribute its distinct non-null value set is materialized once and
+    inclusions are tested pairwise. Trivial self-inclusions are skipped;
+    both directions of an equality are reported. *)
+
+val discover_unary_brute : Database.t -> Ind.t list
+(** Specification variant without the domain filter or the shared index:
+    tests every ordered pair directly with {!Ind.satisfied}. Quadratic
+    and slow — used by tests to validate {!discover_unary}. *)

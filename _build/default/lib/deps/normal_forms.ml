@@ -1,0 +1,121 @@
+open Relational
+
+type nf = Nf1 | Nf2 | Nf3 | Bcnf
+
+let nf_to_string = function
+  | Nf1 -> "1NF"
+  | Nf2 -> "2NF"
+  | Nf3 -> "3NF"
+  | Bcnf -> "BCNF"
+
+let pp_nf ppf nf = Format.pp_print_string ppf (nf_to_string nf)
+
+let prime_attrs fds ~all =
+  let keys = Closure.candidate_keys fds ~all in
+  List.fold_left Attribute.Names.union [] keys
+
+(* FDs restricted to attributes of [all], with nontrivial RHS *)
+let relevant fds ~all =
+  let all = Attribute.Names.normalize all in
+  List.filter
+    (fun (fd : Fd.t) ->
+      Attribute.Names.subset fd.lhs all && Attribute.Names.subset fd.rhs all)
+    fds
+
+let is_2nf fds ~all =
+  let all = Attribute.Names.normalize all in
+  let fds = relevant fds ~all in
+  let keys = Closure.candidate_keys fds ~all in
+  let prime = List.fold_left Attribute.Names.union [] keys in
+  let non_prime = Attribute.Names.diff all prime in
+  (* violated if some non-prime attribute is determined by a proper
+     subset of some key *)
+  not
+    (List.exists
+       (fun key ->
+         List.exists
+           (fun a ->
+             let proper = Attribute.Names.diff key [ a ] in
+             proper <> []
+             &&
+             let cl = Closure.closure fds proper in
+             List.exists (fun b -> Attribute.Names.mem b cl) non_prime)
+           key)
+       keys)
+
+let is_3nf fds ~all =
+  let all = Attribute.Names.normalize all in
+  let fds = relevant fds ~all in
+  let prime = prime_attrs fds ~all in
+  List.for_all
+    (fun (fd : Fd.t) ->
+      Closure.is_superkey fds ~all fd.lhs
+      || List.for_all (fun a -> Attribute.Names.mem a prime) fd.rhs)
+    (List.concat_map Fd.split_rhs fds)
+
+let is_bcnf fds ~all =
+  let all = Attribute.Names.normalize all in
+  let fds = relevant fds ~all in
+  List.for_all (fun (fd : Fd.t) -> Closure.is_superkey fds ~all fd.lhs) fds
+
+let normal_form fds ~all =
+  if is_bcnf fds ~all then Bcnf
+  else if is_3nf fds ~all then Nf3
+  else if is_2nf fds ~all then Nf2
+  else Nf1
+
+let synthesize_3nf ~rel_prefix fds ~all =
+  let all = Attribute.Names.normalize all in
+  let cover = Closure.minimal_cover (relevant fds ~all) in
+  let grouped = Fd.combine cover in
+  let schemes =
+    List.map (fun (fd : Fd.t) -> (fd.lhs, Attribute.Names.union fd.lhs fd.rhs))
+      grouped
+  in
+  (* drop schemes contained in another *)
+  let schemes =
+    List.filter
+      (fun (_, attrs) ->
+        not
+          (List.exists
+             (fun (_, attrs') ->
+               attrs != attrs'
+               && Attribute.Names.subset attrs attrs'
+               && not (Attribute.Names.equal attrs attrs'))
+             schemes))
+      schemes
+  in
+  let has_key =
+    List.exists
+      (fun (_, attrs) -> Closure.is_superkey cover ~all attrs)
+      schemes
+  in
+  let schemes =
+    if has_key then schemes
+    else
+      let keys = Closure.candidate_keys cover ~all in
+      match keys with
+      | [] -> schemes (* no FDs at all: the full scheme is its own key *)
+      | k :: _ -> schemes @ [ (k, k) ]
+  in
+  let schemes =
+    (* lost attributes (in no scheme) get attached to a key relation *)
+    let covered =
+      List.fold_left (fun acc (_, attrs) -> Attribute.Names.union acc attrs)
+        [] schemes
+    in
+    let lost = Attribute.Names.diff all covered in
+    if lost = [] then schemes
+    else
+      match Closure.candidate_keys cover ~all with
+      | [] -> schemes @ [ (lost, lost) ]
+      | k :: _ ->
+          schemes @ [ (Attribute.Names.union k lost, Attribute.Names.union k lost) ]
+  in
+  List.mapi
+    (fun i (key, attrs) ->
+      Relation.make
+        ~uniques:[ key ]
+        (rel_prefix ^ string_of_int (i + 1))
+        attrs)
+    schemes

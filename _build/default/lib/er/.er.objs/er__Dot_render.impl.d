@@ -1,0 +1,1 @@
+lib/er/dot_render.ml: Buffer Eer Format List Printf String

@@ -1,0 +1,1 @@
+lib/er/dot_render.mli: Eer

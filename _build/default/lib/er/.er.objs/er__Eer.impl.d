@@ -1,0 +1,1 @@
+lib/er/eer.ml: Format List Printf String

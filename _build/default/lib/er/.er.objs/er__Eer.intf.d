@@ -1,0 +1,1 @@
+lib/er/eer.mli: Format

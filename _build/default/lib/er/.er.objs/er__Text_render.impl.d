@@ -1,0 +1,1 @@
+lib/er/text_render.ml: Eer Format List Printf String

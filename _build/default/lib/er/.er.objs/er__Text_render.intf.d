@@ -1,0 +1,1 @@
+lib/er/text_render.mli: Eer Format

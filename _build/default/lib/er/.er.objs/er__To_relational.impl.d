@@ -1,0 +1,1 @@
+lib/er/to_relational.ml: Eer List Relation Relational Schema String Validate

@@ -1,0 +1,1 @@
+lib/er/to_relational.mli: Eer Relational Schema

@@ -1,0 +1,1 @@
+lib/er/validate.ml: Eer List Printf String

@@ -1,0 +1,1 @@
+lib/er/validate.mli: Eer

@@ -1,0 +1,58 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_id prefix name =
+  (* DOT identifiers: quote everything, prefix to separate namespaces *)
+  Printf.sprintf "\"%s_%s\"" prefix (escape name)
+
+let render (t : Eer.t) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph eer {\n";
+  out "  rankdir=TB;\n";
+  out "  node [fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun (e : Eer.entity) ->
+      let label =
+        match e.Eer.e_key with
+        | [] -> e.Eer.e_name
+        | key -> Printf.sprintf "%s\\n[%s]" e.Eer.e_name (String.concat "," key)
+      in
+      let peripheries = if e.Eer.e_weak_of <> None then 2 else 1 in
+      out "  %s [shape=box, peripheries=%d, label=\"%s\"];\n"
+        (node_id "e" e.Eer.e_name) peripheries (escape label))
+    t.Eer.entities;
+  List.iter
+    (fun (r : Eer.relationship) ->
+      out "  %s [shape=diamond, label=\"%s\"];\n" (node_id "r" r.Eer.r_name)
+        (escape r.Eer.r_name);
+      List.iter
+        (fun (role : Eer.role) ->
+          let label =
+            String.concat "," role.Eer.role_attrs
+            ^
+            match role.Eer.role_card with
+            | Some c -> Format.asprintf " [%a]" Eer.pp_card c
+            | None -> ""
+          in
+          out "  %s -> %s [dir=none, label=\"%s\"];\n"
+            (node_id "r" r.Eer.r_name)
+            (node_id "e" role.Eer.role_entity)
+            (escape label))
+        r.Eer.r_roles)
+    t.Eer.relationships;
+  List.iter
+    (fun (l : Eer.isa) ->
+      out "  %s -> %s [arrowhead=normalnormal, label=\"is-a\"];\n"
+        (node_id "e" l.Eer.isa_sub)
+        (node_id "e" l.Eer.isa_super))
+    t.Eer.isas;
+  out "}\n";
+  Buffer.contents buf

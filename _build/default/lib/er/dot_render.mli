@@ -1,0 +1,10 @@
+(** Graphviz DOT rendering of an EER schema.
+
+    Follows Figure 1's visual conventions: entity types as rectangles,
+    weak entity types as double-bordered rectangles, relationship types
+    as diamonds, is-a links as double-headed arrows (rendered with
+    [arrowhead=normalnormal]). *)
+
+val render : Eer.t -> string
+(** A complete [graph] document (undirected edges for relationship legs,
+    directed for is-a), deterministic output. *)

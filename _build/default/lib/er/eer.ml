@@ -1,0 +1,83 @@
+type entity = {
+  e_name : string;
+  e_attrs : string list;
+  e_key : string list;
+  e_weak_of : string option;
+}
+
+type card = One | Many
+
+type role = {
+  role_entity : string;
+  role_attrs : string list;
+  role_card : card option;
+}
+
+let role ?card role_entity role_attrs =
+  { role_entity; role_attrs; role_card = card }
+
+let pp_card ppf = function
+  | One -> Format.pp_print_char ppf '1'
+  | Many -> Format.pp_print_char ppf 'N'
+
+type relationship = {
+  r_name : string;
+  r_roles : role list;
+  r_attrs : string list;
+}
+
+type isa = { isa_sub : string; isa_super : string }
+
+type t = {
+  entities : entity list;
+  relationships : relationship list;
+  isas : isa list;
+}
+
+let empty = { entities = []; relationships = []; isas = [] }
+
+let find_entity t name =
+  List.find_opt (fun e -> String.equal e.e_name name) t.entities
+
+let find_relationship t name =
+  List.find_opt (fun r -> String.equal r.r_name name) t.relationships
+
+let add_entity t e =
+  if find_entity t e.e_name <> None then
+    invalid_arg (Printf.sprintf "Eer.add_entity: duplicate entity %s" e.e_name);
+  { t with entities = t.entities @ [ e ] }
+
+let add_relationship t r =
+  if find_relationship t r.r_name <> None then
+    invalid_arg
+      (Printf.sprintf "Eer.add_relationship: duplicate relationship %s" r.r_name);
+  if List.length r.r_roles < 2 then
+    invalid_arg
+      (Printf.sprintf "Eer.add_relationship: %s needs at least two roles"
+         r.r_name);
+  { t with relationships = t.relationships @ [ r ] }
+
+let add_isa t ~sub ~super =
+  if String.equal sub super then invalid_arg "Eer.add_isa: sub = super";
+  let link = { isa_sub = sub; isa_super = super } in
+  if List.mem link t.isas then t else { t with isas = t.isas @ [ link ] }
+
+let entity_names t = List.map (fun e -> e.e_name) t.entities
+
+let supertypes t name =
+  List.filter_map
+    (fun l -> if String.equal l.isa_sub name then Some l.isa_super else None)
+    t.isas
+
+let subtypes t name =
+  List.filter_map
+    (fun l -> if String.equal l.isa_super name then Some l.isa_sub else None)
+    t.isas
+
+let is_weak t name =
+  match find_entity t name with
+  | Some e -> e.e_weak_of <> None
+  | None -> false
+
+let stats t =
+  (List.length t.entities, List.length t.relationships, List.length t.isas)

@@ -1,0 +1,71 @@
+(** The Extended Entity-Relationship target model (§7).
+
+    The paper's Translate algorithm maps a restructured relational schema
+    to the ER model extended with specialization/generalization (is-a
+    links) and weak entity types. This module is the value-level model:
+    construction, lookup and mutation-free updates over a schema. *)
+
+type entity = {
+  e_name : string;
+  e_attrs : string list;  (** non-identifier attributes *)
+  e_key : string list;  (** identifier attributes *)
+  e_weak_of : string option;  (** owner entity for a weak entity type *)
+}
+
+type card = One | Many
+(** Maximum participation of an entity in a relationship. *)
+
+type role = {
+  role_entity : string;
+  role_attrs : string list;
+  role_card : card option;  (** [None] when not inferred *)
+}
+(** One leg of a relationship type: the participating entity, the
+    attributes (of the underlying relation) realizing the link, and the
+    optional inferred cardinality. *)
+
+val role : ?card:card -> string -> string list -> role
+(** [role entity attrs] builds a leg; [card] defaults to [None]. *)
+
+val pp_card : Format.formatter -> card -> unit
+(** [1] or [N]. *)
+
+type relationship = {
+  r_name : string;
+  r_roles : role list;  (** ≥ 2 for n-ary; binary has exactly 2 *)
+  r_attrs : string list;  (** relationship attributes *)
+}
+
+type isa = { isa_sub : string; isa_super : string }
+(** A specialization link: [isa_sub] is-a [isa_super]. *)
+
+type t = {
+  entities : entity list;
+  relationships : relationship list;
+  isas : isa list;
+}
+
+val empty : t
+val add_entity : t -> entity -> t
+(** Raises [Invalid_argument] on a duplicate entity name. *)
+
+val add_relationship : t -> relationship -> t
+(** Raises [Invalid_argument] on a duplicate relationship name or a
+    relationship with fewer than two roles. *)
+
+val add_isa : t -> sub:string -> super:string -> t
+(** Idempotent; raises [Invalid_argument] when [sub = super]. *)
+
+val find_entity : t -> string -> entity option
+val find_relationship : t -> string -> relationship option
+
+val entity_names : t -> string list
+val supertypes : t -> string -> string list
+(** Direct supertypes of an entity (empty for roots). *)
+
+val subtypes : t -> string -> string list
+
+val is_weak : t -> string -> bool
+
+val stats : t -> int * int * int
+(** [(entities, relationships, is-a links)]. *)

@@ -1,0 +1,41 @@
+let pp ppf (t : Eer.t) =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "entities:@ ";
+  List.iter
+    (fun (e : Eer.entity) ->
+      let key = List.map (fun a -> "[" ^ a ^ "]") e.Eer.e_key in
+      let attrs = key @ e.Eer.e_attrs in
+      Format.fprintf ppf "  %s(%s)%s@ " e.Eer.e_name (String.concat ", " attrs)
+        (match e.Eer.e_weak_of with
+        | Some owner -> Printf.sprintf " [weak of %s]" owner
+        | None -> ""))
+    t.Eer.entities;
+  Format.fprintf ppf "relationships:@ ";
+  List.iter
+    (fun (r : Eer.relationship) ->
+      let legs =
+        List.map
+          (fun (role : Eer.role) ->
+            Printf.sprintf "%s(%s)%s" role.Eer.role_entity
+              (String.concat "," role.Eer.role_attrs)
+              (match role.Eer.role_card with
+              | Some c -> Format.asprintf "[%a]" Eer.pp_card c
+              | None -> ""))
+          r.Eer.r_roles
+      in
+      let attrs =
+        match r.Eer.r_attrs with
+        | [] -> ""
+        | l -> Printf.sprintf " / attrs: %s" (String.concat ", " l)
+      in
+      Format.fprintf ppf "  %s: %s%s@ " r.Eer.r_name
+        (String.concat " -- " legs) attrs)
+    t.Eer.relationships;
+  Format.fprintf ppf "is-a:@ ";
+  List.iter
+    (fun (l : Eer.isa) ->
+      Format.fprintf ppf "  %s is-a %s@ " l.Eer.isa_sub l.Eer.isa_super)
+    t.Eer.isas;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

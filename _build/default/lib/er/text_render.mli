@@ -1,0 +1,9 @@
+(** Textual rendering of an EER schema — the ASCII form of the paper's
+    Figure 1. *)
+
+val pp : Format.formatter -> Eer.t -> unit
+(** Deterministic layout: entities (weak entities marked [[weak of X]],
+    identifiers wrapped in brackets), then relationships with their
+    legs, then is-a links as [Sub is-a Super]. *)
+
+val to_string : Eer.t -> string

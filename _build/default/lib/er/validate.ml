@@ -1,0 +1,63 @@
+let check (t : Eer.t) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let entity_exists n = Eer.find_entity t n <> None in
+  (* role and isa references *)
+  List.iter
+    (fun (r : Eer.relationship) ->
+      List.iter
+        (fun (role : Eer.role) ->
+          if not (entity_exists role.Eer.role_entity) then
+            err "relationship %s references unknown entity %s" r.Eer.r_name
+              role.Eer.role_entity)
+        r.Eer.r_roles)
+    t.Eer.relationships;
+  List.iter
+    (fun (l : Eer.isa) ->
+      if not (entity_exists l.Eer.isa_sub) then
+        err "is-a link references unknown entity %s" l.Eer.isa_sub;
+      if not (entity_exists l.Eer.isa_super) then
+        err "is-a link references unknown entity %s" l.Eer.isa_super)
+    t.Eer.isas;
+  (* isa acyclicity via DFS *)
+  let rec reachable seen n =
+    if List.mem n seen then Some (List.rev (n :: seen))
+    else
+      List.fold_left
+        (fun acc super ->
+          match acc with Some _ -> acc | None -> reachable (n :: seen) super)
+        None (Eer.supertypes t n)
+  in
+  List.iter
+    (fun (e : Eer.entity) ->
+      match reachable [] e.Eer.e_name with
+      | Some cycle ->
+          if List.hd cycle = List.hd (List.rev cycle) then
+            err "is-a cycle through %s" (String.concat " -> " cycle)
+      | None -> ())
+    t.Eer.entities;
+  (* weak entity owners *)
+  List.iter
+    (fun (e : Eer.entity) ->
+      match e.Eer.e_weak_of with
+      | Some owner ->
+          if String.equal owner e.Eer.e_name then
+            err "weak entity %s owns itself" e.Eer.e_name
+          else if not (entity_exists owner) then
+            err "weak entity %s has unknown owner %s" e.Eer.e_name owner
+      | None -> ())
+    t.Eer.entities;
+  (* identifiers *)
+  List.iter
+    (fun (e : Eer.entity) ->
+      if e.Eer.e_key = [] && e.Eer.e_weak_of = None then
+        err "entity %s has no identifier" e.Eer.e_name)
+    t.Eer.entities;
+  (* name collisions *)
+  let rel_names = List.map (fun (r : Eer.relationship) -> r.Eer.r_name) t.Eer.relationships in
+  List.iter
+    (fun (e : Eer.entity) ->
+      if List.mem e.Eer.e_name rel_names then
+        err "name %s used for both an entity and a relationship" e.Eer.e_name)
+    t.Eer.entities;
+  match !errors with [] -> Ok () | errs -> Error (List.rev errs)

@@ -1,0 +1,10 @@
+(** Well-formedness checks on an EER schema. *)
+
+val check : Eer.t -> (unit, string list) result
+(** Verifies:
+    - every relationship role and is-a link references a declared entity;
+    - no is-a cycle;
+    - a weak entity's owner exists and is not the entity itself;
+    - every entity has an identifier unless it is weak (a weak entity
+      borrows part of its identifier from its owner);
+    - entity and relationship names do not collide. *)

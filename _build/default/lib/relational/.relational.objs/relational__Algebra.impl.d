@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Database Format Hashtbl List Printf Relation String Table Value

@@ -1,0 +1,1 @@
+lib/relational/attribute.ml: Format List Set String

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Buffer Domain List Printf Relation String Table Value

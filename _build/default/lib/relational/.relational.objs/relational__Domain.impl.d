@@ -1,0 +1,1 @@
+lib/relational/domain.ml: Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Attribute Domain Format List Printf String

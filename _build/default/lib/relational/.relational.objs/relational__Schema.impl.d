@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Attribute Format List Printf Relation String

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Attribute Format Hashtbl List Printf Relation Tuple Value

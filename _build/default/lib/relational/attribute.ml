@@ -1,0 +1,61 @@
+module Names = struct
+  type t = string list
+
+  let normalize l = List.sort_uniq String.compare l
+
+  let rec is_canonical = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> String.compare a b < 0 && is_canonical rest
+
+  let equal (a : t) (b : t) = a = b
+  let compare = List.compare String.compare
+
+  let rec subset a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys ->
+        let c = String.compare x y in
+        if c = 0 then subset xs ys else if c > 0 then subset a ys else false
+
+  let union a b = normalize (a @ b)
+  let inter a b = List.filter (fun x -> List.mem x b) a
+  let diff a b = List.filter (fun x -> not (List.mem x b)) a
+  let mem x l = List.mem x l
+  let is_empty l = l = []
+
+  let pp ppf l =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      Format.pp_print_string ppf l
+
+  let to_string l = String.concat "," l
+end
+
+type t = { rel : string; attrs : string list }
+
+let make rel attrs =
+  if attrs = [] then invalid_arg "Attribute.make: empty attribute set";
+  { rel; attrs = Names.normalize attrs }
+
+let single rel a = make rel [ a ]
+
+let compare a b =
+  match String.compare a.rel b.rel with
+  | 0 -> Names.compare a.attrs b.attrs
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  match t.attrs with
+  | [ a ] -> Format.fprintf ppf "%s.%s" t.rel a
+  | attrs -> Format.fprintf ppf "%s.{%a}" t.rel Names.pp attrs
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Qset = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

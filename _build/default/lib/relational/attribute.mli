@@ -1,0 +1,50 @@
+(** Qualified attributes ([R.a]) and attribute-set utilities.
+
+    The paper manipulates two kinds of attribute collections:
+    - sets of attribute {e names} local to one relation (e.g. the left-hand
+      side of a functional dependency) — handled by {!Names};
+    - sets of {e qualified} attribute sets [R.X] (the paper's [K], [N],
+      [LHS] and [H] sets) — handled by {!t} and {!Qset}. *)
+
+type t = { rel : string; attrs : string list }
+(** A qualified attribute set [R.X]. [attrs] is kept in canonical
+    (sorted, duplicate-free) order; use {!make} to build values. *)
+
+val make : string -> string list -> t
+(** [make rel attrs] normalizes [attrs] (sort, dedup). Raises
+    [Invalid_argument] when [attrs] is empty. *)
+
+val single : string -> string -> t
+(** [single rel a] is [make rel [a]]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Renders as [R.{a,b}] (or [R.a] for singletons), the paper's notation. *)
+
+val to_string : t -> string
+
+module Qset : Set.S with type elt = t
+(** Sets of qualified attribute sets. *)
+
+module Names : sig
+  (** Canonical attribute-name lists: sorted, duplicate-free [string list].
+      All functions expect and preserve canonical form. *)
+
+  type nonrec t = string list
+
+  val normalize : string list -> t
+  val is_canonical : string list -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val subset : t -> t -> bool
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val mem : string -> t -> bool
+  val is_empty : t -> bool
+  val pp : Format.formatter -> t -> unit
+  (** Comma-separated, no braces. *)
+
+  val to_string : t -> string
+end

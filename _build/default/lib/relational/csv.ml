@@ -1,0 +1,144 @@
+let parse text =
+  let n = String.length text in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let push_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let push_row () =
+    push_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then finish ()
+    else
+      match text.[i] with
+      | ',' ->
+          push_field ();
+          plain (i + 1)
+      | '\n' ->
+          push_row ();
+          plain (i + 1)
+      | '\r' ->
+          if i + 1 < n && text.[i + 1] = '\n' then begin
+            push_row ();
+            plain (i + 2)
+          end
+          else begin
+            push_row ();
+            plain (i + 1)
+          end
+      | '"' ->
+          if Buffer.length buf = 0 then quoted (i + 1)
+          else begin
+            Buffer.add_char buf '"';
+            plain (i + 1)
+          end
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv.parse: unterminated quoted field"
+    else
+      match text.[i] with
+      | '"' ->
+          if i + 1 < n && text.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            quoted (i + 2)
+          end
+          else plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  and finish () =
+    if Buffer.length buf > 0 || !fields <> [] then push_row ();
+    List.rev !rows
+  in
+  plain 0
+
+let needs_quote s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_field s =
+  if needs_quote s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map render_field row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let load_table ?(header = true) rel csv =
+  let rows = parse csv in
+  let table = Table.create rel in
+  let attrs = rel.Relation.attrs in
+  let order, data_rows =
+    if header then
+      match rows with
+      | [] -> (attrs, [])
+      | hdr :: rest ->
+          List.iter
+            (fun h ->
+              if not (Relation.has_attr rel h) then
+                failwith
+                  (Printf.sprintf "Csv.load_table(%s): unknown column %S"
+                     rel.Relation.name h))
+            hdr;
+          (hdr, rest)
+    else (attrs, rows)
+  in
+  let parse_cell attr raw =
+    match Relation.domain_of rel attr with
+    | Domain.Unknown -> if raw = "" then Value.Null else Value.parse raw
+    | d -> Domain.parse d raw
+  in
+  List.iter
+    (fun row ->
+      if List.length row <> List.length order then
+        failwith
+          (Printf.sprintf "Csv.load_table(%s): row width %d, expected %d"
+             rel.Relation.name (List.length row) (List.length order));
+      let bindings = List.combine order (List.map2 parse_cell order row) in
+      let tuple =
+        List.map
+          (fun a ->
+            match List.assoc_opt a bindings with
+            | Some v -> v
+            | None ->
+                failwith
+                  (Printf.sprintf "Csv.load_table(%s): missing column %S"
+                     rel.Relation.name a))
+          attrs
+      in
+      Table.insert table tuple)
+    data_rows;
+  table
+
+let dump_table ?(header = true) table =
+  let rel = Table.schema table in
+  let hdr = if header then [ rel.Relation.attrs ] else [] in
+  let body =
+    List.map
+      (fun row ->
+        List.map
+          (fun v -> match v with Value.Null -> "" | _ -> Value.to_string v)
+          row)
+      (Table.to_lists table)
+  in
+  render (hdr @ body)

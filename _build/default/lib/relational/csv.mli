@@ -1,0 +1,27 @@
+(** Minimal RFC-4180-style CSV reader/writer used to load and dump
+    database extensions.
+
+    Quoting rules: a field containing a comma, a double quote, or a
+    newline is written quoted; embedded quotes are doubled. Empty fields
+    load as NULL when typed through a {!Domain.t}. *)
+
+val parse : string -> string list list
+(** Parse a whole CSV document into rows of raw fields. Handles quoted
+    fields with embedded separators, doubled quotes and [\r\n] line
+    endings. A trailing newline does not produce an empty row.
+    Raises [Failure] on an unterminated quoted field. *)
+
+val render : string list list -> string
+(** Inverse of {!parse} (up to quoting normalization). *)
+
+val load_table :
+  ?header:bool -> Relation.t -> string -> Table.t
+(** [load_table rel csv] builds a table for [rel] from CSV text. With
+    [~header:true] (default) the first row names the columns and they may
+    appear in any order (unknown names raise [Failure]); without a header
+    the columns must follow the declared attribute order. Fields are
+    parsed through each attribute's declared domain ({!Domain.parse});
+    attributes with domain [Unknown] use {!Value.parse}. *)
+
+val dump_table : ?header:bool -> Table.t -> string
+(** Render a table's extension as CSV (header row by default). *)

@@ -1,0 +1,85 @@
+type t = Bool | Int | Float | String | Date | Unknown
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Bool -> "bool"
+  | Int -> "int"
+  | Float -> "float"
+  | String -> "string"
+  | Date -> "date"
+  | Unknown -> "unknown"
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let of_value : Value.t -> t = function
+  | Value.Null -> Unknown
+  | Value.Bool _ -> Bool
+  | Value.Int _ -> Int
+  | Value.Float _ -> Float
+  | Value.String _ -> String
+  | Value.Date _ -> Date
+
+let lub a b =
+  match (a, b) with
+  | Unknown, d | d, Unknown -> d
+  | Int, Float | Float, Int -> Float
+  | _ -> if equal a b then a else String
+
+let member d (v : Value.t) =
+  match (d, v) with
+  | _, Value.Null -> true
+  | Bool, Value.Bool _ -> true
+  | Int, Value.Int _ -> true
+  | Float, (Value.Float _ | Value.Int _) -> true
+  | String, Value.String _ -> true
+  | Date, Value.Date _ -> true
+  | Unknown, _ -> true
+  | (Bool | Int | Float | String | Date), _ -> false
+
+let compatible a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> true
+  | Int, Float | Float, Int -> true
+  | _ -> equal a b
+
+let parse d s =
+  if s = "" then Value.Null
+  else
+    match d with
+    | Unknown -> Value.parse s
+    | Bool -> (
+        match String.lowercase_ascii s with
+        | "true" | "t" | "1" -> Value.Bool true
+        | "false" | "f" | "0" -> Value.Bool false
+        | _ -> failwith (Printf.sprintf "Domain.parse: %S is not a bool" s))
+    | Int -> (
+        match int_of_string_opt s with
+        | Some i -> Value.Int i
+        | None -> failwith (Printf.sprintf "Domain.parse: %S is not an int" s))
+    | Float -> (
+        match float_of_string_opt s with
+        | Some f -> Value.Float f
+        | None ->
+            failwith (Printf.sprintf "Domain.parse: %S is not a float" s))
+    | Date -> (
+        match Value.parse s with
+        | Value.Date _ as v -> v
+        | _ -> failwith (Printf.sprintf "Domain.parse: %S is not a date" s))
+    | String -> Value.String s
+
+let of_sql_type name =
+  let base =
+    match String.index_opt name '(' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  match String.lowercase_ascii (String.trim base) with
+  | "int" | "integer" | "smallint" | "bigint" | "number" | "numeric" -> Int
+  | "float" | "real" | "double" | "decimal" -> Float
+  | "bool" | "boolean" -> Bool
+  | "date" | "datetime" | "timestamp" -> Date
+  | _ -> String
+
+let infer_column values =
+  List.fold_left (fun acc v -> lub acc (of_value v)) Unknown values

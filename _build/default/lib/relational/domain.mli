@@ -1,0 +1,44 @@
+(** Attribute domains (column types).
+
+    Domains are used by the CSV loader to type columns, by the SQL DDL
+    reader, and by the exhaustive inclusion-dependency baseline to prune
+    incompatible attribute pairs. *)
+
+type t =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date
+  | Unknown  (** no non-null value observed yet *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_value : Value.t -> t
+(** Domain of a single value; [of_value Null = Unknown]. *)
+
+val lub : t -> t -> t
+(** Least upper bound used when inferring a column domain from data:
+    [Unknown] is neutral, [Int ⊔ Float = Float], anything else mixed
+    generalizes to [String]. *)
+
+val member : t -> Value.t -> bool
+(** [member d v] holds when [v] fits in domain [d]. [Null] belongs to
+    every domain; [Int] values belong to [Float]. *)
+
+val compatible : t -> t -> bool
+(** Two domains can share values (used to prune IND candidates):
+    equal domains, numeric pairs, or any pair involving [Unknown]. *)
+
+val parse : t -> string -> Value.t
+(** [parse d s] reads [s] as a value of domain [d]; empty string is
+    [Null]; raises [Failure] when [s] does not parse in [d]. *)
+
+val of_sql_type : string -> t
+(** Map an SQL type name ([INT], [VARCHAR(20)], [DATE], ...) to a domain;
+    unknown names map to [String]. *)
+
+val infer_column : Value.t list -> t
+(** Fold {!lub} over the domains of the given values. *)

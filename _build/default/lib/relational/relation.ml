@@ -1,0 +1,108 @@
+type t = {
+  name : string;
+  attrs : string list;
+  domains : (string * Domain.t) list;
+  uniques : string list list;
+  not_nulls : string list;
+}
+
+let check_known name attrs a =
+  if not (List.mem a attrs) then
+    invalid_arg
+      (Printf.sprintf "Relation.make(%s): unknown attribute %s in constraint"
+         name a)
+
+let make ?(domains = []) ?(uniques = []) ?(not_nulls = []) name attrs =
+  if attrs = [] then invalid_arg "Relation.make: empty attribute list";
+  let sorted = List.sort_uniq String.compare attrs in
+  if List.length sorted <> List.length attrs then
+    invalid_arg (Printf.sprintf "Relation.make(%s): duplicate attribute" name);
+  let uniques = List.map Attribute.Names.normalize uniques in
+  List.iter (fun u -> List.iter (check_known name attrs) u) uniques;
+  let not_nulls = Attribute.Names.normalize not_nulls in
+  List.iter (check_known name attrs) not_nulls;
+  List.iter (fun (a, _) -> check_known name attrs a) domains;
+  let domains =
+    List.map
+      (fun a ->
+        match List.assoc_opt a domains with
+        | Some d -> (a, d)
+        | None -> (a, Domain.Unknown))
+      attrs
+  in
+  let uniques = List.sort_uniq Attribute.Names.compare uniques in
+  { name; attrs; domains; uniques; not_nulls }
+
+let arity t = List.length t.attrs
+let has_attr t a = List.mem a t.attrs
+
+let attr_index t a =
+  let rec go i = function
+    | [] -> raise Not_found
+    | x :: _ when String.equal x a -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.attrs
+
+let domain_of t a =
+  match List.assoc_opt a t.domains with
+  | Some d -> d
+  | None -> raise Not_found
+
+let key_attrs t = Attribute.Names.normalize (List.concat t.uniques)
+
+let is_key t x =
+  let x = Attribute.Names.normalize x in
+  List.exists (Attribute.Names.equal x) t.uniques
+
+let not_null_attrs t = Attribute.Names.union t.not_nulls (key_attrs t)
+let nullable t a = not (Attribute.Names.mem a (not_null_attrs t))
+let rename t name = { t with name }
+
+let project t keep =
+  List.iter
+    (fun a ->
+      if not (has_attr t a) then
+        invalid_arg
+          (Printf.sprintf "Relation.project(%s): unknown attribute %s" t.name a))
+    keep;
+  let attrs = List.filter (fun a -> List.mem a keep) t.attrs in
+  let domains = List.filter (fun (a, _) -> List.mem a keep) t.domains in
+  let uniques =
+    List.filter (fun u -> List.for_all (fun a -> List.mem a keep) u) t.uniques
+  in
+  let not_nulls = List.filter (fun a -> List.mem a keep) t.not_nulls in
+  { t with attrs; domains; uniques; not_nulls }
+
+let remove_attrs t gone = project t (List.filter (fun a -> not (List.mem a gone)) t.attrs)
+
+let add_unique t u =
+  let u = Attribute.Names.normalize u in
+  List.iter (check_known t.name t.attrs) u;
+  if List.exists (Attribute.Names.equal u) t.uniques then t
+  else { t with uniques = List.sort_uniq Attribute.Names.compare (u :: t.uniques) }
+
+let equal a b =
+  String.equal a.name b.name
+  && a.attrs = b.attrs
+  && List.for_all2 (fun (x, dx) (y, dy) -> x = y && Domain.equal dx dy)
+       a.domains b.domains
+  && a.uniques = b.uniques
+  && a.not_nulls = b.not_nulls
+
+let pp ppf t =
+  let keys = key_attrs t in
+  let pp_attr ppf a =
+    let base =
+      if Attribute.Names.mem a keys then Printf.sprintf "[%s]" a else a
+    in
+    let base = if Attribute.Names.mem a t.not_nulls then base ^ "!" else base in
+    Format.pp_print_string ppf base
+  in
+  Format.fprintf ppf "%s(%a)" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_attr)
+    t.attrs
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,77 @@
+(** Relation schemas.
+
+    A relation schema carries the declared attribute order, the optional
+    per-attribute domains, and the data-dictionary constraints the paper
+    assumes available: [UNIQUE] (key) and [NOT NULL] declarations (§4).
+
+    As in standard SQL — and as the paper states — a unique constraint
+    implies not-null on each attribute involved; {!not_null_attrs} includes
+    those. *)
+
+type t = private {
+  name : string;
+  attrs : string list;  (** declared order, duplicate-free *)
+  domains : (string * Domain.t) list;  (** one entry per attribute *)
+  uniques : string list list;  (** each canonical; the paper's keys *)
+  not_nulls : string list;  (** explicitly declared NOT NULL, canonical *)
+}
+
+val make :
+  ?domains:(string * Domain.t) list ->
+  ?uniques:string list list ->
+  ?not_nulls:string list ->
+  string ->
+  string list ->
+  t
+(** [make name attrs] builds a schema. Raises [Invalid_argument] on a
+    duplicate attribute, an empty attribute list, or a constraint that
+    mentions an attribute not in [attrs]. Attributes without an entry in
+    [domains] get {!Domain.Unknown}. *)
+
+val arity : t -> int
+val has_attr : t -> string -> bool
+val attr_index : t -> string -> int
+(** Position of an attribute in the declared order; raises [Not_found]. *)
+
+val domain_of : t -> string -> Domain.t
+
+val key_attrs : t -> string list
+(** Union of all unique constraints, canonical — every attribute that is
+    part of some key. *)
+
+val is_key : t -> string list -> bool
+(** [is_key t x] holds when canonical [x] equals one of the declared
+    unique constraints (the paper's test "[R.X ∈ K]"). *)
+
+val not_null_attrs : t -> string list
+(** Declared NOT NULLs plus every attribute occurring in a unique
+    constraint (the paper's [N] restricted to this relation). *)
+
+val nullable : t -> string -> bool
+(** Negation of membership in {!not_null_attrs}. *)
+
+val rename : t -> string -> t
+(** Change the relation name, keeping everything else. *)
+
+val project : t -> string list -> t
+(** [project t keep] restricts the schema to the attributes in [keep]
+    (declared order preserved); constraints mentioning dropped attributes
+    are discarded. Raises [Invalid_argument] if some [keep] attribute is
+    unknown. *)
+
+val remove_attrs : t -> string list -> t
+(** [remove_attrs t gone] drops the given attributes (used by the paper's
+    Restruct step when a functional dependency's right-hand side is moved
+    to a new relation). *)
+
+val add_unique : t -> string list -> t
+(** Declare an additional key; no-op if already declared. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering: [Name(a, b, c)] with key attributes wrapped in
+    square brackets and (explicitly) not-null attributes suffixed with
+    [!] — e.g. [Department([dep], emp, skill, location!, proj)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,64 @@
+type t = { rels : Relation.t list }
+
+let empty = { rels = [] }
+
+let mem t name =
+  List.exists (fun r -> String.equal r.Relation.name name) t.rels
+
+let add t r =
+  if mem t r.Relation.name then
+    invalid_arg
+      (Printf.sprintf "Schema.add: duplicate relation %s" r.Relation.name);
+  { rels = t.rels @ [ r ] }
+
+let of_relations rels = List.fold_left add empty rels
+let relations t = t.rels
+let find t name = List.find_opt (fun r -> String.equal r.Relation.name name) t.rels
+
+let find_exn t name =
+  match find t name with Some r -> r | None -> raise Not_found
+
+let replace t r =
+  if mem t r.Relation.name then
+    {
+      rels =
+        List.map
+          (fun r' ->
+            if String.equal r'.Relation.name r.Relation.name then r else r')
+          t.rels;
+    }
+  else add t r
+
+let remove t name =
+  { rels = List.filter (fun r -> not (String.equal r.Relation.name name)) t.rels }
+
+let size t = List.length t.rels
+
+let k_set t =
+  List.concat_map
+    (fun r ->
+      List.map (fun u -> Attribute.make r.Relation.name u) r.Relation.uniques)
+    t.rels
+
+let n_set t =
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun a -> Attribute.single r.Relation.name a)
+        (Relation.not_null_attrs r))
+    t.rels
+
+let is_key t rel x =
+  match find t rel with None -> false | Some r -> Relation.is_key r x
+
+let attr_not_null t rel a =
+  match find t rel with
+  | None -> false
+  | Some r -> Attribute.Names.mem a (Relation.not_null_attrs r)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Relation.pp)
+    t.rels
+
+let to_string t = Format.asprintf "%a" pp t

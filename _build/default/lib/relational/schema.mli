@@ -1,0 +1,44 @@
+(** Database schemas: a named collection of relation schemas, and the
+    paper's derived constraint sets [K] (keys) and [N] (not-null). *)
+
+type t
+
+val empty : t
+val of_relations : Relation.t list -> t
+(** Raises [Invalid_argument] on duplicate relation names. *)
+
+val relations : t -> Relation.t list
+(** In insertion order. *)
+
+val find : t -> string -> Relation.t option
+val find_exn : t -> string -> Relation.t
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val add : t -> Relation.t -> t
+(** Raises [Invalid_argument] if the name is already bound. *)
+
+val replace : t -> Relation.t -> t
+(** Add or overwrite the relation with the same name. *)
+
+val remove : t -> string -> t
+val size : t -> int
+
+val k_set : t -> Attribute.t list
+(** The paper's [K = {R.X | X declared unique}] (§4), every declared key
+    of every relation, as qualified attribute sets. *)
+
+val n_set : t -> Attribute.t list
+(** The paper's [N]: explicitly declared not-null attributes plus all
+    attributes involved in a unique constraint, as singleton qualified
+    attributes. *)
+
+val is_key : t -> string -> string list -> bool
+(** [is_key s rel x]: is [x] a declared key of relation [rel]?
+    False when [rel] is unknown. *)
+
+val attr_not_null : t -> string -> string -> bool
+(** Membership of [rel.a] in [N]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

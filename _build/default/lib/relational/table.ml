@@ -1,0 +1,143 @@
+type t = {
+  schema : Relation.t;
+  mutable rev_rows : Tuple.t list;
+  mutable size : int;
+  mutable cache : Tuple.t array option;
+}
+
+let create schema = { schema; rev_rows = []; size = 0; cache = None }
+let schema t = t.schema
+let cardinality t = t.size
+
+let insert_tuple t tup =
+  if Array.length tup <> Relation.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): arity mismatch (%d, expected %d)"
+         t.schema.Relation.name (Array.length tup)
+         (Relation.arity t.schema));
+  t.rev_rows <- tup :: t.rev_rows;
+  t.size <- t.size + 1;
+  t.cache <- None
+
+let insert t values = insert_tuple t (Tuple.of_list values)
+let insert_many t rows = List.iter (insert t) rows
+
+let rows t =
+  match t.cache with
+  | Some a -> a
+  | None ->
+      let a = Array.make t.size [||] in
+      let rec fill i = function
+        | [] -> ()
+        | r :: rest ->
+            a.(i) <- r;
+            fill (i - 1) rest
+      in
+      fill (t.size - 1) t.rev_rows;
+      t.cache <- Some a;
+      a
+
+let to_lists t = Array.to_list (Array.map Tuple.to_list (rows t))
+
+let positions t attrs =
+  let pos a =
+    try Relation.attr_index t.schema a
+    with Not_found ->
+      invalid_arg
+        (Printf.sprintf "Table(%s): unknown attribute %s"
+           t.schema.Relation.name a)
+  in
+  Array.of_list (List.map pos attrs)
+
+let value t tup a = tup.(Relation.attr_index t.schema a)
+
+let distinct_table t attrs =
+  let idx = positions t attrs in
+  let seen = Hashtbl.create (max 16 (cardinality t)) in
+  Array.iter
+    (fun tup ->
+      if not (Tuple.has_null_at idx tup) then
+        let key = Tuple.project_list idx tup in
+        if not (Hashtbl.mem seen key) then Hashtbl.add seen key ())
+    (rows t);
+  seen
+
+let project_distinct t attrs =
+  let seen = distinct_table t attrs in
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+let count_distinct t attrs = Hashtbl.length (distinct_table t attrs)
+
+let equijoin_distinct_count t1 a1 t2 a2 =
+  if List.length a1 <> List.length a2 then
+    invalid_arg "Table.equijoin_distinct_count: width mismatch";
+  (* iterate over the smaller distinct set, probe the larger *)
+  let d1 = distinct_table t1 a1 and d2 = distinct_table t2 a2 in
+  let small, large =
+    if Hashtbl.length d1 <= Hashtbl.length d2 then (d1, d2) else (d2, d1)
+  in
+  Hashtbl.fold
+    (fun k () acc -> if Hashtbl.mem large k then acc + 1 else acc)
+    small 0
+
+let group_rows t attrs =
+  let idx = positions t attrs in
+  let groups = Hashtbl.create (max 16 (cardinality t)) in
+  Array.iteri
+    (fun i tup ->
+      let key = Tuple.project_list idx tup in
+      let prev = try Hashtbl.find groups key with Not_found -> [] in
+      Hashtbl.replace groups key (i :: prev))
+    (rows t);
+  groups
+
+let select t pred =
+  Array.fold_right (fun tup acc -> if pred tup then tup :: acc else acc)
+    (rows t) []
+
+let check_unique t attrs =
+  let idx = positions t attrs in
+  let seen = Hashtbl.create (max 16 (cardinality t)) in
+  let ok = ref true in
+  Array.iter
+    (fun tup ->
+      if !ok && not (Tuple.has_null_at idx tup) then begin
+        let key = Tuple.project_list idx tup in
+        if Hashtbl.mem seen key then ok := false
+        else Hashtbl.add seen key ()
+      end)
+    (rows t);
+  !ok
+
+let check_not_null t attr =
+  let i = Relation.attr_index t.schema attr in
+  Array.for_all (fun tup -> not (Value.is_null tup.(i))) (rows t)
+
+let check_constraints t =
+  let name = t.schema.Relation.name in
+  let errors = ref [] in
+  List.iter
+    (fun u ->
+      if not (check_unique t u) then
+        errors :=
+          Printf.sprintf "%s: unique(%s) violated" name
+            (Attribute.Names.to_string u)
+          :: !errors)
+    t.schema.Relation.uniques;
+  List.iter
+    (fun a ->
+      if not (check_not_null t a) then
+        errors := Printf.sprintf "%s: not null(%s) violated" name a :: !errors)
+    (Relation.not_null_attrs t.schema);
+  match !errors with [] -> Ok () | errs -> Error (List.rev errs)
+
+let pp ?(max_rows = 20) ppf t =
+  Format.fprintf ppf "@[<v>%a@ " Relation.pp t.schema;
+  let all = rows t in
+  let n = Array.length all in
+  let shown = min n max_rows in
+  for i = 0 to shown - 1 do
+    Format.fprintf ppf "%a@ " Tuple.pp all.(i)
+  done;
+  if n > shown then Format.fprintf ppf "... (%d more rows)@ " (n - shown);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,72 @@
+(** Tables: a relation schema together with its extension.
+
+    This is the engine behind the paper's counting primitives (§2):
+    [||r[X]||] is {!count_distinct} and [||r_k[A_k] ⋈ r_l[A_l]||] is
+    {!equijoin_distinct_count}. Following SQL [COUNT(DISTINCT …)]
+    semantics, rows holding a NULL in any projected attribute are ignored
+    by the distinct-counting operations; functional-dependency style
+    grouping (which needs NULL = NULL) is provided separately by
+    {!group_rows}. *)
+
+type t
+
+val create : Relation.t -> t
+(** An empty table over the given schema. *)
+
+val schema : t -> Relation.t
+val cardinality : t -> int
+
+val insert : t -> Value.t list -> unit
+(** Append one tuple. Raises [Invalid_argument] on an arity mismatch. No
+    constraint checking happens on insert — legacy extensions are allowed
+    to violate their dictionary constraints; use {!check_constraints}. *)
+
+val insert_many : t -> Value.t list list -> unit
+val insert_tuple : t -> Tuple.t -> unit
+
+val rows : t -> Tuple.t array
+(** All tuples in insertion order. The array is cached and shared: do not
+    mutate it. *)
+
+val to_lists : t -> Value.t list list
+
+val positions : t -> string list -> int array
+(** Column positions for the given attribute names; raises
+    [Invalid_argument] on an unknown attribute. *)
+
+val value : t -> Tuple.t -> string -> Value.t
+(** [value t tup a] is the component of [tup] for attribute [a]. *)
+
+val project_distinct : t -> string list -> Value.t list list
+(** Distinct non-null projections of the table on the given attributes
+    (each inner list follows the order given). *)
+
+val count_distinct : t -> string list -> int
+(** [||r[X]||] — the paper's [SELECT COUNT(DISTINCT X) FROM R]. *)
+
+val distinct_table : t -> string list -> (Value.t list, unit) Hashtbl.t
+(** The set of distinct non-null projections, as a hash table keyed by
+    projected value lists — reusable across several intersection counts. *)
+
+val equijoin_distinct_count : t -> string list -> t -> string list -> int
+(** [||r1[x1] ⋈ r2[x2]||] — the number of distinct (non-null) values
+    common to both projections. [x1] and [x2] must have the same width. *)
+
+val group_rows : t -> string list -> (Value.t list, int list) Hashtbl.t
+(** Group row indices by their projection on the given attributes, with
+    NULL treated as an ordinary value (the grouping an FD check needs). *)
+
+val select : t -> (Tuple.t -> bool) -> Tuple.t list
+
+val check_unique : t -> string list -> bool
+(** Does the extension satisfy uniqueness of the given attribute set?
+    (NULL-holding rows are skipped, as in SQL UNIQUE.) *)
+
+val check_not_null : t -> string -> bool
+
+val check_constraints : t -> (unit, string list) result
+(** Verify every declared unique and not-null constraint against the
+    extension; [Error msgs] lists each violated constraint. *)
+
+val pp : ?max_rows:int -> Format.formatter -> t -> unit
+(** Debug rendering: header plus at most [max_rows] rows (default 20). *)

@@ -1,0 +1,1 @@
+lib/sqlx/ddl.mli: Ast Database Domain Relation Relational Schema

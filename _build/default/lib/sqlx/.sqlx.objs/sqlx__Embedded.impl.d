@@ -1,0 +1,1 @@
+lib/sqlx/embedded.ml: Ast Buffer Lexer List Parser String

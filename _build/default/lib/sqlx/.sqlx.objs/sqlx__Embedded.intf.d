@@ -1,0 +1,1 @@
+lib/sqlx/embedded.mli: Ast

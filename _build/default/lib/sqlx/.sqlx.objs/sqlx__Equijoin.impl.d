@@ -1,0 +1,1 @@
+lib/sqlx/equijoin.ml: Ast Format Hashtbl Int List Option Parser Relation Relational Schema Stdlib String

@@ -1,0 +1,1 @@
+lib/sqlx/equijoin.mli: Ast Format Relational Schema

@@ -1,0 +1,1 @@
+lib/sqlx/exec.ml: Algebra Array Ast Bool Database Ddl Float Hashtbl List Option Parser Printf Relation Relational Schema String Table Tuple Value

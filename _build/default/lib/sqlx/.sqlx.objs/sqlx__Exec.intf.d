@@ -1,0 +1,1 @@
+lib/sqlx/exec.mli: Algebra Ast Database Relational Value

@@ -1,0 +1,1 @@
+lib/sqlx/navigation.ml: Equijoin Format Hashtbl Int List Option Relation Relational Schema String

@@ -1,0 +1,1 @@
+lib/sqlx/navigation.mli: Equijoin Format Relational Schema

@@ -1,0 +1,1 @@
+lib/sqlx/parser.ml: Array Ast Buffer Lexer List Option Printf Relational String Token Value

@@ -1,0 +1,1 @@
+lib/sqlx/pretty.ml: Ast Format List Relational String Value

@@ -1,0 +1,1 @@
+lib/sqlx/pretty.mli: Ast Format

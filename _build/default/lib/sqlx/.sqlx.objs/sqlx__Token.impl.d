@@ -1,0 +1,1 @@
+lib/sqlx/token.ml: Format List Printf String

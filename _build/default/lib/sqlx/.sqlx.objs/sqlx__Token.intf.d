@@ -1,0 +1,1 @@
+lib/sqlx/token.mli: Format

@@ -1,0 +1,88 @@
+open Relational
+
+type column = { tbl : string option; col : string }
+
+type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
+
+type expr = Col of column | Lit of Value.t | Host of string | Agg_of of agg
+
+and cond =
+  | Cmp of cmp_op * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | In of expr * query
+  | In_list of expr * expr list
+  | Exists of query
+  | Between of expr * expr * expr
+  | Like of expr * string
+  | Is_null of expr * bool
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : table_ref list;
+  where : cond option;
+  group_by : column list;
+  having : cond option;
+  order_by : (column * [ `Asc | `Desc ]) list;
+}
+
+and projection = Star | Proj of expr * string option | Agg of agg * string option
+
+and agg =
+  | Count_star
+  | Count of bool * column
+  | Sum of column
+  | Avg of column
+  | Min of column
+  | Max of column
+
+and table_ref = { rel : string; alias : string option }
+
+and query =
+  | Select of select
+  | Intersect of query * query
+  | Union of query * query
+  | Except of query * query
+
+type col_constraint = C_not_null | C_unique | C_primary_key
+
+type column_def = {
+  col_name : string;
+  sql_type : string;
+  col_constraints : col_constraint list;
+}
+
+type table_constraint =
+  | T_unique of string list
+  | T_primary_key of string list
+  | T_foreign_key of string list * string * string list
+
+type create_table = {
+  ct_name : string;
+  columns : column_def list;
+  constraints : table_constraint list;
+}
+
+type alter_action =
+  | Drop_column of string
+  | Add_foreign_key of string list * string * string list
+
+type statement =
+  | Query of query
+  | Create of create_table
+  | Insert of string * string list option * expr list list
+  | Insert_select of string * string list option * query
+  | Update of string * (string * expr) list * cond option
+  | Delete of string * cond option
+  | Alter of string * alter_action
+
+let rec query_selects = function
+  | Select s -> [ s ]
+  | Intersect (q1, q2) | Union (q1, q2) | Except (q1, q2) ->
+      query_selects q1 @ query_selects q2
+
+let rec cond_conjuncts = function
+  | And (c1, c2) -> cond_conjuncts c1 @ cond_conjuncts c2
+  | c -> [ c ]

@@ -1,0 +1,108 @@
+(** Abstract syntax for the SQL subset.
+
+    The subset covers what the paper's program analysis needs (§4):
+    select-project-join queries with conjunctive/disjunctive conditions,
+    nested [IN]/[EXISTS] subqueries, [INTERSECT]/[UNION]/[EXCEPT], plus
+    the DDL ([CREATE TABLE]) and DML ([INSERT]) needed to load legacy
+    databases from scripts. Host variables ([:emp]) lex as identifiers
+    beginning with [':'] and act as opaque constants. *)
+
+open Relational
+
+type column = { tbl : string option; col : string }
+(** A possibly qualified column reference [t.c]. *)
+
+type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
+
+type expr =
+  | Col of column
+  | Lit of Value.t
+  | Host of string  (** embedded-program host variable, e.g. [:emp] *)
+  | Agg_of of agg  (** aggregate used as a value — only legal in [HAVING] *)
+
+and cond =
+  | Cmp of cmp_op * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | In of expr * query  (** [e IN (subquery)] *)
+  | In_list of expr * expr list
+  | Exists of query
+  | Between of expr * expr * expr
+  | Like of expr * string
+  | Is_null of expr * bool  (** [IS NULL] ([true]) / [IS NOT NULL] *)
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : table_ref list;
+  where : cond option;
+  group_by : column list;
+  having : cond option;  (** group filter; may mention aggregates *)
+  order_by : (column * [ `Asc | `Desc ]) list;
+}
+
+and projection =
+  | Star
+  | Proj of expr * string option  (** expression [AS] alias *)
+  | Agg of agg * string option
+
+and agg =
+  | Count_star
+  | Count of bool * column  (** [COUNT([DISTINCT] c)] *)
+  | Sum of column
+  | Avg of column
+  | Min of column
+  | Max of column
+
+and table_ref = { rel : string; alias : string option }
+
+and query =
+  | Select of select
+  | Intersect of query * query
+  | Union of query * query
+  | Except of query * query
+
+type col_constraint = C_not_null | C_unique | C_primary_key
+
+type column_def = {
+  col_name : string;
+  sql_type : string;
+  col_constraints : col_constraint list;
+}
+
+type table_constraint =
+  | T_unique of string list
+  | T_primary_key of string list
+  | T_foreign_key of string list * string * string list
+      (** [(cols, referenced table, referenced cols)] *)
+
+type create_table = {
+  ct_name : string;
+  columns : column_def list;
+  constraints : table_constraint list;
+}
+
+type alter_action =
+  | Drop_column of string
+  | Add_foreign_key of string list * string * string list
+      (** [(cols, referenced table, referenced cols)] *)
+
+type statement =
+  | Query of query
+  | Create of create_table
+  | Insert of string * string list option * expr list list
+      (** [INSERT INTO t [(cols)] VALUES (...), (...)] *)
+  | Insert_select of string * string list option * query
+      (** [INSERT INTO t [(cols)] SELECT ...] *)
+  | Update of string * (string * expr) list * cond option
+  | Delete of string * cond option
+  | Alter of string * alter_action
+
+val query_selects : query -> select list
+(** Every [select] node of a query, including nested set-operation
+    branches (but not subqueries inside conditions). *)
+
+val cond_conjuncts : cond -> cond list
+(** Flatten the top-level [AND] spine: the conjuncts the §4 extraction
+    rule scans. [OR]/[NOT] nodes are returned whole. *)

@@ -1,0 +1,135 @@
+open Relational
+
+let relation_of_create (ct : Ast.create_table) =
+  let attrs = List.map (fun (c : Ast.column_def) -> c.col_name) ct.columns in
+  let domains =
+    List.map
+      (fun (c : Ast.column_def) -> (c.col_name, Domain.of_sql_type c.sql_type))
+      ct.columns
+  in
+  let col_uniques =
+    List.filter_map
+      (fun (c : Ast.column_def) ->
+        if
+          List.mem Ast.C_unique c.col_constraints
+          || List.mem Ast.C_primary_key c.col_constraints
+        then Some [ c.col_name ]
+        else None)
+      ct.columns
+  in
+  let table_uniques =
+    List.filter_map
+      (function
+        | Ast.T_unique cols | Ast.T_primary_key cols -> Some cols
+        | Ast.T_foreign_key _ -> None)
+      ct.constraints
+  in
+  let not_nulls =
+    List.filter_map
+      (fun (c : Ast.column_def) ->
+        if
+          List.mem Ast.C_not_null c.col_constraints
+          || List.mem Ast.C_primary_key c.col_constraints
+        then Some c.col_name
+        else None)
+      ct.columns
+  in
+  Relation.make ~domains
+    ~uniques:(col_uniques @ table_uniques)
+    ~not_nulls ct.ct_name attrs
+
+let foreign_keys_of_create (ct : Ast.create_table) =
+  List.filter_map
+    (function
+      | Ast.T_foreign_key (cols, target, tcols) ->
+          Some (ct.ct_name, cols, target, tcols)
+      | Ast.T_unique _ | Ast.T_primary_key _ -> None)
+    ct.constraints
+
+let schema_of_script script =
+  let stmts = Parser.parse_script script in
+  List.fold_left
+    (fun (schema, fks) stmt ->
+      match stmt with
+      | Ast.Create ct ->
+          ( Schema.add schema (relation_of_create ct),
+            fks @ foreign_keys_of_create ct )
+      | Ast.Query _ | Ast.Insert _ | Ast.Insert_select _ | Ast.Update _
+      | Ast.Delete _ | Ast.Alter _ ->
+          (schema, fks))
+    (Schema.empty, []) stmts
+
+let sql_type_of_domain = function
+  | Domain.Int -> "INT"
+  | Domain.Float -> "FLOAT"
+  | Domain.Bool -> "BOOLEAN"
+  | Domain.Date -> "DATE"
+  | Domain.String | Domain.Unknown -> "VARCHAR(80)"
+
+let create_table_sql (rel : Relation.t) =
+  let cols =
+    List.map
+      (fun a ->
+        Printf.sprintf "%s %s%s" a
+          (sql_type_of_domain (Relation.domain_of rel a))
+          (if List.mem a rel.Relation.not_nulls then " NOT NULL" else ""))
+      rel.Relation.attrs
+  in
+  let uniques =
+    List.map
+      (fun u -> Printf.sprintf "UNIQUE (%s)" (String.concat ", " u))
+      rel.Relation.uniques
+  in
+  Printf.sprintf "CREATE TABLE %s (%s)" rel.Relation.name
+    (String.concat ", " (cols @ uniques))
+
+let value_of_expr = function
+  | Ast.Lit v -> v
+  | Ast.Col c -> failwith (Printf.sprintf "Ddl.load_script: column %s in VALUES" c.col)
+  | Ast.Host h ->
+      failwith (Printf.sprintf "Ddl.load_script: host variable %s in VALUES" h)
+  | Ast.Agg_of _ -> failwith "Ddl.load_script: aggregate in VALUES"
+
+let load_script script =
+  let stmts = Parser.parse_script script in
+  let schema =
+    List.fold_left
+      (fun schema stmt ->
+        match stmt with
+        | Ast.Create ct -> Schema.add schema (relation_of_create ct)
+        | _ -> schema)
+      Schema.empty stmts
+  in
+  let db = Database.create schema in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Insert (rel, cols, rows) ->
+          let relation =
+            match Schema.find schema rel with
+            | Some r -> r
+            | None -> failwith (Printf.sprintf "Ddl.load_script: unknown table %s" rel)
+          in
+          List.iter
+            (fun row ->
+              let values = List.map value_of_expr row in
+              let tuple =
+                match cols with
+                | None -> values
+                | Some cs ->
+                    if List.length cs <> List.length values then
+                      failwith "Ddl.load_script: VALUES width mismatch";
+                    let bound = List.combine cs values in
+                    List.map
+                      (fun a ->
+                        Option.value ~default:Value.Null
+                          (List.assoc_opt a bound))
+                      relation.Relation.attrs
+              in
+              Database.insert db rel tuple)
+            rows
+      | Ast.Create _ | Ast.Query _ | Ast.Insert_select _ | Ast.Update _
+      | Ast.Delete _ | Ast.Alter _ ->
+          ())
+    stmts;
+  db

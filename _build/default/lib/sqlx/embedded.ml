@@ -1,0 +1,180 @@
+type extraction = {
+  statements : Ast.statement list;
+  raw_found : int;
+  parse_failures : string list;
+}
+
+let find_ci haystack needle start =
+  (* case-insensitive substring search *)
+  let h = String.lowercase_ascii haystack
+  and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub h i nl = n then Some i
+    else go (i + 1)
+  in
+  go start
+
+let exec_sql_blocks text =
+  let blocks = ref [] in
+  let rec go pos =
+    match find_ci text "exec sql" pos with
+    | None -> ()
+    | Some start ->
+        let body_start = start + String.length "exec sql" in
+        (* terminator: END-EXEC (COBOL) or ';' (C-style), whichever first *)
+        let end_exec = find_ci text "end-exec" body_start in
+        let semi = String.index_from_opt text body_start ';' in
+        let stop, next =
+          match (end_exec, semi) with
+          | Some e, Some s when e < s -> (e, e + String.length "end-exec")
+          | Some e, None -> (e, e + String.length "end-exec")
+          | _, Some s -> (s, s + 1)
+          | None, None -> (String.length text, String.length text)
+        in
+        blocks := String.sub text body_start (stop - body_start) :: !blocks;
+        go next
+  in
+  go 0;
+  List.rev !blocks
+
+let sql_keywords = [ "select"; "insert"; "update"; "delete"; "create"; "alter" ]
+
+(* COBOL/embedded-SQL cursors: "DECLARE <name> CURSOR FOR <select>" — the
+   interesting part is the select *)
+let strip_cursor_declaration s =
+  let trimmed = String.trim s in
+  let lower = String.lowercase_ascii trimmed in
+  let prefix = "declare" in
+  if
+    String.length lower > String.length prefix
+    && String.sub lower 0 (String.length prefix) = prefix
+  then
+    match find_ci lower "cursor for" 0 with
+    | Some i ->
+        let start = i + String.length "cursor for" in
+        String.trim (String.sub trimmed start (String.length trimmed - start))
+    | None -> trimmed
+  else trimmed
+
+let looks_like_sql s =
+  let s = String.lowercase_ascii (strip_cursor_declaration s) in
+  List.exists
+    (fun kw ->
+      String.length s > String.length kw
+      && String.sub s 0 (String.length kw) = kw)
+    sql_keywords
+
+(* scan string literals, joining adjacent ones (possibly via + or &) *)
+let string_literals text =
+  let n = String.length text in
+  let literals = ref [] in
+  let read_literal quote i =
+    let buf = Buffer.create 32 in
+    let rec go j =
+      if j >= n then (Buffer.contents buf, j)
+      else if text.[j] = quote then
+        if j + 1 < n && text.[j + 1] = quote then begin
+          Buffer.add_char buf quote;
+          go (j + 2)
+        end
+        else (Buffer.contents buf, j + 1)
+      else begin
+        Buffer.add_char buf text.[j];
+        go (j + 1)
+      end
+    in
+    go i
+  in
+  let rec skip_concat i =
+    (* whitespace and concatenation operators between adjacent literals *)
+    if i >= n then i
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' | '+' | '&' -> skip_concat (i + 1)
+      | _ -> i
+  in
+  let rec go i current =
+    if i >= n then begin
+      (match current with Some c -> literals := c :: !literals | None -> ());
+      ()
+    end
+    else
+      match text.[i] with
+      | '"' | '\'' ->
+          let lit, j = read_literal text.[i] (i + 1) in
+          let k = skip_concat j in
+          let continues =
+            k < n && (text.[k] = '"' || text.[k] = '\'') && k > j
+          in
+          let merged =
+            match current with Some c -> c ^ " " ^ lit | None -> lit
+          in
+          if continues then go k (Some merged)
+          else begin
+            literals := merged :: !literals;
+            go j None
+          end
+      | _ -> go (i + 1) current
+  in
+  go 0 None;
+  List.rev !literals
+
+let extract_sql_fragments text =
+  let blocks = exec_sql_blocks text in
+  (* avoid re-reporting literals inside EXEC SQL blocks: strip them *)
+  let without_blocks =
+    match blocks with
+    | [] -> text
+    | _ ->
+        List.fold_left
+          (fun acc block ->
+            match find_ci acc block 0 with
+            | Some i ->
+                String.sub acc 0 i
+                ^ String.make (String.length block) ' '
+                ^ String.sub acc
+                    (i + String.length block)
+                    (String.length acc - i - String.length block)
+            | None -> acc)
+          text blocks
+  in
+  let literals =
+    List.filter looks_like_sql (string_literals without_blocks)
+    |> List.map strip_cursor_declaration
+  in
+  let blocks =
+    List.filter looks_like_sql (List.map String.trim blocks)
+    |> List.map strip_cursor_declaration
+  in
+  blocks @ literals
+
+let scan text =
+  let fragments = extract_sql_fragments text in
+  let statements, failures =
+    List.fold_left
+      (fun (stmts, fails) fragment ->
+        match Parser.parse_script fragment with
+        | parsed -> (stmts @ parsed, fails)
+        | exception (Parser.Error _ | Lexer.Error _) ->
+            (stmts, fragment :: fails))
+      ([], []) fragments
+  in
+  {
+    statements;
+    raw_found = List.length fragments;
+    parse_failures = List.rev failures;
+  }
+
+let scan_files texts =
+  List.fold_left
+    (fun acc text ->
+      let e = scan text in
+      {
+        statements = acc.statements @ e.statements;
+        raw_found = acc.raw_found + e.raw_found;
+        parse_failures = acc.parse_failures @ e.parse_failures;
+      })
+    { statements = []; raw_found = 0; parse_failures = [] }
+    texts

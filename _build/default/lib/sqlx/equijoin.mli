@@ -1,0 +1,60 @@
+(** Extraction of the paper's set [Q] of equi-joins from SQL (§4).
+
+    An equi-join [R_k[A_k] ⋈ R_l[A_l]] is elicited from:
+    - conjunctive [WHERE] equalities between columns of two FROM entries
+      (several equalities between the same two entries merge into one
+      multi-attribute equi-join, as in the §4 rule);
+    - [x IN (SELECT y FROM S …)] subqueries;
+    - correlated equalities inside [EXISTS]/[IN] subqueries (the outer
+      column resolves through the enclosing scopes);
+    - [SELECT x FROM R … INTERSECT SELECT y FROM S …].
+
+    Column references are resolved through FROM aliases and, for
+    unqualified names, through the schema; unresolvable or ambiguous
+    references are skipped silently (legacy programs reference dead
+    tables). Self-joins produce equi-joins between two instances of the
+    same relation. Equalities under [OR]/[NOT] are not elicited (they do
+    not constrain navigation), but subqueries nested under them are still
+    visited. *)
+
+open Relational
+
+type t = private {
+  rel1 : string;
+  attrs1 : string list;
+  rel2 : string;
+  attrs2 : string list;
+}
+(** [attrs1]/[attrs2] are aligned positionally. Values are canonical:
+    sides ordered, attribute pairs sorted — so structural equality is
+    semantic equality. *)
+
+val make : string * string list -> string * string list -> t
+(** Canonicalizing constructor; raises [Invalid_argument] on width
+    mismatch or empty sides. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Paper notation: [R[a] |X| S[b]]. *)
+
+val to_string : t -> string
+
+val of_query : Schema.t -> Ast.query -> t list
+(** All equi-joins elicited from one query (duplicates removed). *)
+
+val of_statement : Schema.t -> Ast.statement -> t list
+(** Queries contribute via {!of_query}; [UPDATE]/[DELETE] conditions are
+    scanned too; DDL and [INSERT] contribute nothing. *)
+
+val of_script : Schema.t -> string -> t list
+(** Parse a SQL script and elicit from every statement, deduplicated. *)
+
+val of_corpus : Schema.t -> string list -> (t * int) list
+(** Elicit over many scripts, returning each distinct equi-join with its
+    number of occurrences (a relevance signal for the expert user),
+    sorted by decreasing count then by {!compare}. *)
+
+val dedupe : t list -> t list
+(** Order-preserving duplicate removal. *)

@@ -1,0 +1,176 @@
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '-'
+(* '-' appears in legacy attribute names like project-name; we accept it
+   inside identifiers when not followed by a digit-only suffix ambiguity —
+   see [lex_ident] which stops '-' before a non-ident char. *)
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let rec skip i =
+    if i >= n then i
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '-' ->
+          let rec eol j = if j >= n || input.[j] = '\n' then j else eol (j + 1) in
+          skip (eol (i + 2))
+      | '/' when i + 1 < n && input.[i + 1] = '*' ->
+          let rec close j =
+            if j + 1 >= n then raise (Error ("unterminated comment", i))
+            else if input.[j] = '*' && input.[j + 1] = '/' then j + 2
+            else close (j + 1)
+          in
+          skip (close (i + 2))
+      | _ -> i
+  in
+  let lex_ident i =
+    let rec stop j =
+      if j < n && is_ident_char input.[j] then
+        (* don't swallow a trailing '-' (e.g. "a -- comment" or "a - b") *)
+        if input.[j] = '-' && not (j + 1 < n && is_ident_char input.[j + 1])
+        then j
+        else if input.[j] = '-' && j + 1 < n && input.[j + 1] = '-' then j
+        else stop (j + 1)
+      else j
+    in
+    let j = stop i in
+    (String.sub input i (j - i), j)
+  in
+  let lex_number i =
+    let rec digits j = if j < n && is_digit input.[j] then digits (j + 1) else j in
+    let j = digits i in
+    if j < n && input.[j] = '.' && j + 1 < n && is_digit input.[j + 1] then begin
+      let k = digits (j + 1) in
+      (Token.Float (float_of_string (String.sub input i (k - i))), k)
+    end
+    else (Token.Int (int_of_string (String.sub input i (j - i))), j)
+  in
+  let lex_string i =
+    let buf = Buffer.create 16 in
+    let rec go j =
+      if j >= n then raise (Error ("unterminated string", i))
+      else if input.[j] = '\'' then
+        if j + 1 < n && input.[j + 1] = '\'' then begin
+          Buffer.add_char buf '\'';
+          go (j + 2)
+        end
+        else (Buffer.contents buf, j + 1)
+      else begin
+        Buffer.add_char buf input.[j];
+        go (j + 1)
+      end
+    in
+    go i
+  in
+  let lex_quoted_ident i =
+    let rec close j =
+      if j >= n then raise (Error ("unterminated quoted identifier", i))
+      else if input.[j] = '"' then j
+      else close (j + 1)
+    in
+    let j = close i in
+    (String.sub input i (j - i), j + 1)
+  in
+  let rec go i =
+    let i = skip i in
+    if i >= n then emit Token.Eof
+    else
+      let c = input.[i] in
+      if is_ident_start c then begin
+        let word, j = lex_ident i in
+        if Token.is_keyword word then emit (Token.Kw (String.uppercase_ascii word))
+        else emit (Token.Ident word);
+        go j
+      end
+      else if is_digit c then begin
+        let tok, j = lex_number i in
+        emit tok;
+        go j
+      end
+      else
+        match c with
+        | '\'' ->
+            let s, j = lex_string (i + 1) in
+            emit (Token.Str s);
+            go j
+        | '"' ->
+            let s, j = lex_quoted_ident (i + 1) in
+            emit (Token.Ident s);
+            go j
+        | '(' | ')' | ',' | ';' | '.' | '*' | '+' | '/' ->
+            emit (Token.Punct (String.make 1 c));
+            go (i + 1)
+        | '=' ->
+            emit (Token.Punct "=");
+            go (i + 1)
+        | '<' ->
+            if i + 1 < n && input.[i + 1] = '>' then begin
+              emit (Token.Punct "<>");
+              go (i + 2)
+            end
+            else if i + 1 < n && input.[i + 1] = '=' then begin
+              emit (Token.Punct "<=");
+              go (i + 2)
+            end
+            else begin
+              emit (Token.Punct "<");
+              go (i + 1)
+            end
+        | '>' ->
+            if i + 1 < n && input.[i + 1] = '=' then begin
+              emit (Token.Punct ">=");
+              go (i + 2)
+            end
+            else begin
+              emit (Token.Punct ">");
+              go (i + 1)
+            end
+        | '!' ->
+            if i + 1 < n && input.[i + 1] = '=' then begin
+              emit (Token.Punct "!=");
+              go (i + 2)
+            end
+            else raise (Error ("illegal character '!'", i))
+        | '|' ->
+            if i + 1 < n && input.[i + 1] = '|' then begin
+              emit (Token.Punct "||");
+              go (i + 2)
+            end
+            else raise (Error ("illegal character '|'", i))
+        | '-' ->
+            (* not a comment (handled in skip); negative number or minus *)
+            if i + 1 < n && is_digit input.[i + 1] then begin
+              let tok, j = lex_number (i + 1) in
+              let neg = function
+                | Token.Int k -> Token.Int (-k)
+                | Token.Float f -> Token.Float (-.f)
+                | t -> t
+              in
+              emit (neg tok);
+              go j
+            end
+            else begin
+              emit (Token.Punct "-");
+              go (i + 1)
+            end
+        | ':' ->
+            (* host-variable marker in embedded SQL: ":emp-no" lexes as a
+               host variable; we surface it as an identifier-like token *)
+            if i + 1 < n && is_ident_start input.[i + 1] then begin
+              let word, j = lex_ident (i + 1) in
+              emit (Token.Ident (":" ^ word));
+              go j
+            end
+            else raise (Error ("illegal character ':'", i))
+        | _ -> raise (Error (Printf.sprintf "illegal character %C" c, i))
+  in
+  go 0;
+  List.rev !toks

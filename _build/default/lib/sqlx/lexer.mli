@@ -1,0 +1,12 @@
+(** SQL lexer.
+
+    Skips whitespace, [-- line] comments and [/* block */] comments.
+    Identifiers may be double-quoted (case preserved, never a keyword).
+    Raises {!Error} with a position on an illegal character or an
+    unterminated string/comment. *)
+
+exception Error of string * int
+(** [(message, byte offset)]. *)
+
+val tokenize : string -> Token.t list
+(** Whole-input lexing; the result always ends with [Token.Eof]. *)

@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Grammar sketch (case-insensitive keywords):
+    {v
+    statement  ::= query | create | insert | update | delete
+    query      ::= select ((UNION|INTERSECT|EXCEPT|MINUS) select)*
+    select     ::= SELECT [DISTINCT] projs FROM refs [WHERE cond]
+                   [GROUP BY cols] [ORDER BY cols [ASC|DESC]]
+    refs       ::= rel [[AS] alias] (',' rel [[AS] alias]
+                 | [INNER] JOIN rel [[AS] alias] ON cond)*
+    cond       ::= or-spine of AND/NOT/comparison/IN/EXISTS/BETWEEN/
+                   LIKE/IS [NOT] NULL, parenthesized groups
+    v}
+    [JOIN ... ON] is normalized away: the joined relation is appended to
+    the [from] list and the [ON] condition is AND-ed into [where]. *)
+
+exception Error of string
+(** Parse error with a human-readable message including the offending
+    token. *)
+
+val parse_statement : string -> Ast.statement
+(** Parse exactly one statement (an optional trailing [';'] accepted). *)
+
+val parse_script : string -> Ast.statement list
+(** Parse a [';']-separated script. Empty statements are skipped. *)
+
+val parse_query : string -> Ast.query
+(** Parse a single query (convenience wrapper). *)

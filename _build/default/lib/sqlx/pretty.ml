@@ -1,0 +1,192 @@
+open Relational
+
+let pp_column ppf (c : Ast.column) =
+  match c.tbl with
+  | Some t -> Format.fprintf ppf "%s.%s" t c.col
+  | None -> Format.pp_print_string ppf c.col
+
+let rec pp_expr ppf = function
+  | Ast.Col c -> pp_column ppf c
+  | Ast.Lit v -> Value.pp_sql ppf v
+  | Ast.Host h -> Format.pp_print_string ppf h
+  | Ast.Agg_of agg -> pp_agg_value ppf agg
+
+and pp_agg_value ppf = function
+  | Ast.Count_star -> Format.pp_print_string ppf "COUNT(*)"
+  | Ast.Count (distinct, c) ->
+      Format.fprintf ppf "COUNT(%s%a)"
+        (if distinct then "DISTINCT " else "")
+        pp_column c
+  | Ast.Sum c -> Format.fprintf ppf "SUM(%a)" pp_column c
+  | Ast.Avg c -> Format.fprintf ppf "AVG(%a)" pp_column c
+  | Ast.Min c -> Format.fprintf ppf "MIN(%a)" pp_column c
+  | Ast.Max c -> Format.fprintf ppf "MAX(%a)" pp_column c
+
+let cmp_str = function
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Leq -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Geq -> ">="
+
+let pp_sep s ppf () = Format.pp_print_string ppf s
+
+let rec pp_cond ppf = function
+  | Ast.Cmp (op, e1, e2) ->
+      Format.fprintf ppf "%a %s %a" pp_expr e1 (cmp_str op) pp_expr e2
+  | Ast.And (c1, c2) -> Format.fprintf ppf "%a AND %a" pp_cond_atom c1 pp_cond_atom c2
+  | Ast.Or (c1, c2) -> Format.fprintf ppf "(%a OR %a)" pp_cond c1 pp_cond c2
+  | Ast.Not c -> Format.fprintf ppf "NOT (%a)" pp_cond c
+  | Ast.In (e, q) -> Format.fprintf ppf "%a IN (%a)" pp_expr e pp_query q
+  | Ast.In_list (e, es) ->
+      Format.fprintf ppf "%a IN (%a)" pp_expr e
+        (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_expr)
+        es
+  | Ast.Exists q -> Format.fprintf ppf "EXISTS (%a)" pp_query q
+  | Ast.Between (e, lo, hi) ->
+      Format.fprintf ppf "%a BETWEEN %a AND %a" pp_expr e pp_expr lo pp_expr hi
+  | Ast.Like (e, pat) -> Format.fprintf ppf "%a LIKE '%s'" pp_expr e pat
+  | Ast.Is_null (e, pos) ->
+      Format.fprintf ppf "%a IS %sNULL" pp_expr e (if pos then "" else "NOT ")
+
+and pp_cond_atom ppf c =
+  match c with
+  | Ast.Or _ -> Format.fprintf ppf "(%a)" pp_cond c
+  | _ -> pp_cond ppf c
+
+and pp_projection ppf = function
+  | Ast.Star -> Format.pp_print_string ppf "*"
+  | Ast.Proj (e, None) -> pp_expr ppf e
+  | Ast.Proj (e, Some a) -> Format.fprintf ppf "%a AS %s" pp_expr e a
+  | Ast.Agg (agg, alias) ->
+      pp_agg ppf agg;
+      (match alias with
+      | Some a -> Format.fprintf ppf " AS %s" a
+      | None -> ())
+
+and pp_agg ppf agg = pp_agg_value ppf agg
+
+and pp_table_ref ppf (r : Ast.table_ref) =
+  match r.alias with
+  | Some a -> Format.fprintf ppf "%s %s" r.rel a
+  | None -> Format.pp_print_string ppf r.rel
+
+and pp_select ppf (s : Ast.select) =
+  Format.fprintf ppf "SELECT %s%a FROM %a"
+    (if s.distinct then "DISTINCT " else "")
+    (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_projection)
+    s.projections
+    (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_table_ref)
+    s.from;
+  (match s.where with
+  | Some c -> Format.fprintf ppf " WHERE %a" pp_cond c
+  | None -> ());
+  (match s.group_by with
+  | [] -> ()
+  | cols ->
+      Format.fprintf ppf " GROUP BY %a"
+        (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_column)
+        cols);
+  (match s.having with
+  | Some c -> Format.fprintf ppf " HAVING %a" pp_cond c
+  | None -> ());
+  match s.order_by with
+  | [] -> ()
+  | items ->
+      let pp_item ppf (c, dir) =
+        Format.fprintf ppf "%a%s" pp_column c
+          (match dir with `Asc -> "" | `Desc -> " DESC")
+      in
+      Format.fprintf ppf " ORDER BY %a"
+        (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_item)
+        items
+
+and pp_query ppf = function
+  | Ast.Select s -> pp_select ppf s
+  | Ast.Intersect (q1, q2) ->
+      Format.fprintf ppf "%a INTERSECT %a" pp_query q1 pp_query q2
+  | Ast.Union (q1, q2) -> Format.fprintf ppf "%a UNION %a" pp_query q1 pp_query q2
+  | Ast.Except (q1, q2) ->
+      Format.fprintf ppf "%a EXCEPT %a" pp_query q1 pp_query q2
+
+let pp_statement ppf = function
+  | Ast.Query q -> pp_query ppf q
+  | Ast.Create ct ->
+      let pp_col ppf (c : Ast.column_def) =
+        Format.fprintf ppf "%s %s" c.col_name c.sql_type;
+        List.iter
+          (fun k ->
+            Format.pp_print_string ppf
+              (match k with
+              | Ast.C_not_null -> " NOT NULL"
+              | Ast.C_unique -> " UNIQUE"
+              | Ast.C_primary_key -> " PRIMARY KEY"))
+          c.col_constraints
+      in
+      let pp_constraint ppf = function
+        | Ast.T_unique cols ->
+            Format.fprintf ppf "UNIQUE (%s)" (String.concat ", " cols)
+        | Ast.T_primary_key cols ->
+            Format.fprintf ppf "PRIMARY KEY (%s)" (String.concat ", " cols)
+        | Ast.T_foreign_key (cols, t, tcols) ->
+            Format.fprintf ppf "FOREIGN KEY (%s) REFERENCES %s (%s)"
+              (String.concat ", " cols) t (String.concat ", " tcols)
+      in
+      Format.fprintf ppf "CREATE TABLE %s (" ct.ct_name;
+      let first = ref true in
+      let sep () =
+        if !first then first := false else Format.pp_print_string ppf ", "
+      in
+      List.iter
+        (fun c ->
+          sep ();
+          pp_col ppf c)
+        ct.columns;
+      List.iter
+        (fun c ->
+          sep ();
+          pp_constraint ppf c)
+        ct.constraints;
+      Format.pp_print_string ppf ")"
+  | Ast.Insert (rel, cols, rows) ->
+      Format.fprintf ppf "INSERT INTO %s" rel;
+      (match cols with
+      | Some cs -> Format.fprintf ppf " (%s)" (String.concat ", " cs)
+      | None -> ());
+      Format.pp_print_string ppf " VALUES ";
+      let pp_row ppf row =
+        Format.fprintf ppf "(%a)"
+          (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_expr)
+          row
+      in
+      Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_row ppf rows
+  | Ast.Update (rel, sets, where) ->
+      let pp_set ppf (c, e) = Format.fprintf ppf "%s = %a" c pp_expr e in
+      Format.fprintf ppf "UPDATE %s SET %a" rel
+        (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_set)
+        sets;
+      (match where with
+      | Some c -> Format.fprintf ppf " WHERE %a" pp_cond c
+      | None -> ())
+  | Ast.Insert_select (rel, cols, q) ->
+      Format.fprintf ppf "INSERT INTO %s" rel;
+      (match cols with
+      | Some cs -> Format.fprintf ppf " (%s)" (String.concat ", " cs)
+      | None -> ());
+      Format.fprintf ppf " %a" pp_query q
+  | Ast.Delete (rel, where) -> (
+      Format.fprintf ppf "DELETE FROM %s" rel;
+      match where with
+      | Some c -> Format.fprintf ppf " WHERE %a" pp_cond c
+      | None -> ())
+  | Ast.Alter (rel, Ast.Drop_column c) ->
+      Format.fprintf ppf "ALTER TABLE %s DROP COLUMN %s" rel c
+  | Ast.Alter (rel, Ast.Add_foreign_key (cols, target, tcols)) ->
+      Format.fprintf ppf "ALTER TABLE %s ADD FOREIGN KEY (%s) REFERENCES %s"
+        rel (String.concat ", " cols) target;
+      if tcols <> [] then
+        Format.fprintf ppf " (%s)" (String.concat ", " tcols)
+
+let query_to_string q = Format.asprintf "%a" pp_query q
+let statement_to_string s = Format.asprintf "%a" pp_statement s

@@ -1,0 +1,1 @@
+lib/workload/corrupt.ml: Array Database Hashtbl List Printf Relation Relational Rng Table Value

@@ -1,0 +1,1 @@
+lib/workload/corrupt.mli: Database Relational Rng

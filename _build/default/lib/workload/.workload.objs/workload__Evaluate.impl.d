@@ -1,0 +1,1 @@
+lib/workload/evaluate.ml: Deps Fd Format Ind Ind_closure List

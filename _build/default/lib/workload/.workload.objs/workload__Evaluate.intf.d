@@ -1,0 +1,1 @@
+lib/workload/evaluate.mli: Deps Fd Format Ind

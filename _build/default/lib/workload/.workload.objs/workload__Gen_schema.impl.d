@@ -1,0 +1,1 @@
+lib/workload/gen_schema.ml: Database Deps Domain Fd Ind List Printf Relation Relational Rng Schema Sqlx Value

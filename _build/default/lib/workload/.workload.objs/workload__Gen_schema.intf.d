@@ -1,0 +1,1 @@
+lib/workload/gen_schema.mli: Database Deps Fd Ind Relational Sqlx

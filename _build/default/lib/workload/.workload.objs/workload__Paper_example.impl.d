@@ -1,0 +1,1 @@
+lib/workload/paper_example.ml: Database Dbre Domain Printf Relation Relational Schema Sqlx Value

@@ -1,0 +1,1 @@
+lib/workload/paper_example.mli: Database Dbre Relational Schema Sqlx

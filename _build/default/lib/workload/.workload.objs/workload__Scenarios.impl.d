@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Array Database Dbre Domain Gen_schema List Paper_example Printf Relation Relational Schema String Value

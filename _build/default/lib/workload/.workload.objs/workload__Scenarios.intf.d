@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Database Dbre Gen_schema Relational

@@ -1,0 +1,67 @@
+open Relational
+
+let rebuild db rel rows =
+  let table = Database.table db rel in
+  let fresh = Table.create (Table.schema table) in
+  List.iter (Table.insert_tuple fresh) rows;
+  Database.replace_table db fresh
+
+let break_ind rng db ~rel ~attr ~rate =
+  let table = Database.table db rel in
+  let i = Relation.attr_index (Table.schema table) attr in
+  let corrupted = ref 0 in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun tup ->
+           if (not (Value.is_null tup.(i))) && Rng.chance rng rate then begin
+             incr corrupted;
+             let tup = Array.copy tup in
+             (tup.(i) <-
+               (match tup.(i) with
+               | Value.Int _ -> Value.Int (-(1 + !corrupted))
+               | _ -> Value.String (Printf.sprintf "@corrupt-%d" !corrupted)));
+             tup
+           end
+           else tup)
+         (Table.rows table))
+  in
+  rebuild db rel rows;
+  !corrupted
+
+let break_fd rng db ~rel ~lhs ~rhs ~rate =
+  let table = Database.table db rel in
+  let ri = Relation.attr_index (Table.schema table) rhs in
+  let groups = Table.group_rows table lhs in
+  let rows = Array.map Array.copy (Table.rows table) in
+  let touched = ref 0 in
+  Hashtbl.iter
+    (fun key members ->
+      if (not (List.exists Value.is_null key)) && List.length members >= 2 then
+        List.iter
+          (fun idx ->
+            if Rng.chance rng rate then begin
+              incr touched;
+              rows.(idx).(ri) <-
+                Value.String (Printf.sprintf "@scrambled-%d" !touched)
+            end)
+          members)
+    groups;
+  rebuild db rel (Array.to_list rows);
+  !touched
+
+let delete_rows rng db ~rel ~rate =
+  let table = Database.table db rel in
+  let dropped = ref 0 in
+  let rows =
+    List.filter
+      (fun _ ->
+        if Rng.chance rng rate then begin
+          incr dropped;
+          false
+        end
+        else true)
+      (Array.to_list (Table.rows table))
+  in
+  rebuild db rel rows;
+  !dropped

@@ -1,0 +1,60 @@
+open Deps
+
+type metrics = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  precision : float;
+  recall : float;
+  f1 : float;
+}
+
+let build ~tp ~fp ~fn =
+  let ratio a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b in
+  let precision = ratio tp (tp + fp) in
+  let recall = ratio tp (tp + fn) in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  {
+    true_positives = tp;
+    false_positives = fp;
+    false_negatives = fn;
+    precision;
+    recall;
+    f1;
+  }
+
+let pp_metrics ppf m =
+  Format.fprintf ppf "p=%.2f r=%.2f f1=%.2f (tp=%d fp=%d fn=%d)" m.precision
+    m.recall m.f1 m.true_positives m.false_positives m.false_negatives
+
+let ind_metrics ?(modulo_implication = false) ~truth found =
+  let covered_by base ind =
+    if modulo_implication then Ind_closure.implied base ind
+    else List.exists (Ind.equal ind) base
+  in
+  let tp = List.length (List.filter (covered_by found) truth) in
+  let fn = List.length truth - tp in
+  let fp =
+    List.length (List.filter (fun i -> not (covered_by truth i)) found)
+  in
+  build ~tp ~fp ~fn
+
+(* one item per (relation, lhs, rhs attribute) *)
+let fd_items fds =
+  List.concat_map
+    (fun (f : Fd.t) ->
+      List.map (fun b -> (f.Fd.rel, f.Fd.lhs, b)) f.Fd.rhs)
+    fds
+  |> List.sort_uniq compare
+
+let fd_metrics ~truth ~found =
+  let truth_items = fd_items truth and found_items = fd_items found in
+  let tp = List.length (List.filter (fun i -> List.mem i found_items) truth_items) in
+  let fn = List.length truth_items - tp in
+  let fp =
+    List.length (List.filter (fun i -> not (List.mem i truth_items)) found_items)
+  in
+  build ~tp ~fp ~fn

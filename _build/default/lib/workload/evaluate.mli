@@ -1,0 +1,30 @@
+(** Recovery-quality metrics: how much of a planted ground truth did the
+    method elicit, and how much of what it elicited is real?
+
+    Used by the corruption-sweep experiment (B7) and by downstream users
+    validating the method on their own labelled schemas. *)
+
+open Deps
+
+type metrics = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  precision : float;  (** 1.0 when nothing was found *)
+  recall : float;  (** 1.0 when nothing was to be found *)
+  f1 : float;
+}
+
+val pp_metrics : Format.formatter -> metrics -> unit
+(** [p=0.92 r=0.83 f1=0.87 (tp=10 fp=1 fn=2)]. *)
+
+val ind_metrics : ?modulo_implication:bool -> truth:Ind.t list -> Ind.t list -> metrics
+(** Exact IND matching by default; with [~modulo_implication:true]
+    (default false) a truth IND counts as recovered when the found set
+    {e implies} it ({!Ind_closure.implied}) and a found IND counts as
+    correct when the truth implies it. *)
+
+val fd_metrics : truth:Fd.t list -> found:Fd.t list -> metrics
+(** Attribute-level matching: each [(relation, lhs, rhs-attribute)]
+    triple is one item, so a partially recovered right-hand side earns
+    partial credit. *)

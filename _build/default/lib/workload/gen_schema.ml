@@ -1,0 +1,176 @@
+open Relational
+open Deps
+
+type spec = {
+  n_entities : int;
+  rows_per_entity : int;
+  n_denorm : int;
+  refs_per_denorm : int;
+  payload_per_ref : int;
+  rows_per_denorm : int;
+  null_ref_rate : float;
+  seed : int64;
+}
+
+let default_spec =
+  {
+    n_entities = 4;
+    rows_per_entity = 1000;
+    n_denorm = 2;
+    refs_per_denorm = 3;
+    payload_per_ref = 2;
+    rows_per_denorm = 2000;
+    null_ref_rate = 0.05;
+    seed = 42L;
+  }
+
+type ground_truth = { planted_inds : Ind.t list; planted_fds : Fd.t list }
+
+type t = {
+  db : Database.t;
+  truth : ground_truth;
+  equijoins : Sqlx.Equijoin.t list;
+  programs : string list;
+}
+
+let entity_name i = Printf.sprintf "E%d" i
+let entity_id i = Printf.sprintf "e%d_id" i
+let denorm_name j = Printf.sprintf "D%d" j
+let ref_attr j k = Printf.sprintf "d%d_ref%d" j k
+let payload_attr j k m = Printf.sprintf "d%d_ref%d_p%d" j k m
+
+let entity_relation i =
+  let id = entity_id i in
+  Relation.make
+    ~domains:
+      [
+        (id, Domain.Int);
+        (Printf.sprintf "e%d_name" i, Domain.String);
+        (Printf.sprintf "e%d_val" i, Domain.Int);
+      ]
+    ~uniques:[ [ id ] ]
+    (entity_name i)
+    [ id; Printf.sprintf "e%d_name" i; Printf.sprintf "e%d_val" i ]
+
+let denorm_relation spec j ~targets =
+  let id = Printf.sprintf "d%d_id" j in
+  let ref_cols =
+    List.concat
+      (List.mapi
+         (fun k _ ->
+           (ref_attr j k, Domain.Int)
+           :: List.init spec.payload_per_ref (fun m ->
+                  (payload_attr j k m, Domain.String)))
+         targets)
+  in
+  let attrs = (id, Domain.Int) :: ref_cols in
+  Relation.make ~domains:attrs ~uniques:[ [ id ] ] (denorm_name j)
+    (List.map fst attrs)
+
+let generate spec =
+  let rng = Rng.create spec.seed in
+  (* which entity each (denorm, ref slot) targets *)
+  let targets =
+    List.init spec.n_denorm (fun _ ->
+        List.init spec.refs_per_denorm (fun _ -> Rng.int rng spec.n_entities))
+  in
+  let schema =
+    Schema.of_relations
+      (List.init spec.n_entities entity_relation
+      @ List.mapi
+          (fun j t -> denorm_relation spec j ~targets:t)
+          targets)
+  in
+  let db = Database.create schema in
+  (* entities *)
+  for i = 0 to spec.n_entities - 1 do
+    for row = 1 to spec.rows_per_entity do
+      Database.insert db (entity_name i)
+        [
+          Value.Int row;
+          Value.String (Printf.sprintf "e%d-name-%d" i row);
+          Value.Int (row mod 97);
+        ]
+    done
+  done;
+  (* denormalized relations: references are drawn from a strict subset of
+     each entity's ids (so the planted INDs are proper), payload values
+     are pure functions of the reference (so the planted FDs hold) *)
+  let planted_inds = ref [] and planted_fds = ref [] and equijoins = ref [] in
+  List.iteri
+    (fun j tgt ->
+      let dn = denorm_name j in
+      List.iteri
+        (fun k entity ->
+          planted_inds :=
+            Ind.make (dn, [ ref_attr j k ]) (entity_name entity, [ entity_id entity ])
+            :: !planted_inds;
+          if spec.payload_per_ref > 0 then
+            planted_fds :=
+              Fd.make dn
+                [ ref_attr j k ]
+                (List.init spec.payload_per_ref (fun m -> payload_attr j k m))
+              :: !planted_fds;
+          equijoins :=
+            Sqlx.Equijoin.make (dn, [ ref_attr j k ])
+              (entity_name entity, [ entity_id entity ])
+            :: !equijoins)
+        tgt;
+      let ref_pool = max 1 (spec.rows_per_entity * 4 / 5) in
+      for row = 1 to spec.rows_per_denorm do
+        let ref_values =
+          List.mapi
+            (fun k _ ->
+              if Rng.chance rng spec.null_ref_rate then (k, None)
+              else (k, Some (1 + Rng.int rng ref_pool)))
+            tgt
+        in
+        let cells =
+          Value.Int row
+          :: List.concat_map
+               (fun (k, rv) ->
+                 match rv with
+                 | None ->
+                     Value.Null
+                     :: List.init spec.payload_per_ref (fun _ -> Value.Null)
+                 | Some v ->
+                     Value.Int v
+                     :: List.init spec.payload_per_ref (fun m ->
+                            Value.String (Printf.sprintf "p%d-%d-%d" k m v)))
+               ref_values
+        in
+        Database.insert db dn cells
+      done)
+    targets;
+  (* application programs: one embedded-SQL navigation per reference *)
+  let programs =
+    List.concat
+      (List.mapi
+         (fun j tgt ->
+           List.mapi
+             (fun k entity ->
+               Printf.sprintf
+                 {|
+       PROCEDURE DIVISION.
+           EXEC SQL
+             SELECT %s
+             FROM %s, %s
+             WHERE %s.%s = %s.%s
+           END-EXEC.
+|}
+                 (entity_id entity) (denorm_name j) (entity_name entity)
+                 (denorm_name j) (ref_attr j k) (entity_name entity)
+                 (entity_id entity))
+             tgt)
+         targets)
+  in
+  {
+    db;
+    truth =
+      {
+        planted_inds = List.rev !planted_inds;
+        planted_fds = List.rev !planted_fds;
+      };
+    equijoins = List.rev !equijoins;
+    programs;
+  }

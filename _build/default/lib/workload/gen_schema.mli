@@ -1,0 +1,48 @@
+(** Synthetic denormalized-schema generator with planted ground truth.
+
+    Generation mimics how the paper says real schemas degrade (§1, §3):
+    a clean conceptual design — base {e entity} relations with surrogate
+    keys — is denormalized by embedding, in wide "fact" relations, both
+    references to entities (future inclusion dependencies) and copies of
+    entity payload attributes (future functional dependencies
+    [ref -> payload]). The planted dependencies are returned so recovery
+    can be measured. *)
+
+open Relational
+open Deps
+
+type spec = {
+  n_entities : int;  (** base object types *)
+  rows_per_entity : int;
+  n_denorm : int;  (** wide denormalized relations *)
+  refs_per_denorm : int;  (** entity references per denorm relation *)
+  payload_per_ref : int;  (** embedded attributes per reference *)
+  rows_per_denorm : int;
+  null_ref_rate : float;  (** fraction of NULL references *)
+  seed : int64;
+}
+
+val default_spec : spec
+(** 4 entities × 1000 rows, 2 denorm relations with 3 refs × 2 payload
+    attributes and 2000 rows, 5% NULL refs, seed 42. *)
+
+type ground_truth = {
+  planted_inds : Ind.t list;  (** [D_j.ref_k ≪ E_i.id], key-based *)
+  planted_fds : Fd.t list;  (** [D_j : ref_k -> payload_k*] *)
+}
+
+type t = {
+  db : Database.t;
+  truth : ground_truth;
+  equijoins : Sqlx.Equijoin.t list;
+      (** the navigation queries an application would issue: one
+          equi-join per planted reference *)
+  programs : string list;
+      (** embedded-SQL program sources realizing those equi-joins *)
+}
+
+val generate : spec -> t
+(** Deterministic in [spec.seed]. Entity relation [E<i>] has attributes
+    [e<i>_id] (key), [e<i>_name], [e<i>_val]; denorm relation [D<j>] has
+    a surrogate key [d<j>_id], references [d<j>_ref<k>] and payloads
+    [d<j>_ref<k>_p<m>] whose values are functions of the reference. *)

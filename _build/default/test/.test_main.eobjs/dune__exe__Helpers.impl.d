@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Attribute Database Deps List Relation Relational Schema Sqlx String Table Value

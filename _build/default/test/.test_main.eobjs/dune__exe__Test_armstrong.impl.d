@@ -1,0 +1,1 @@
+test/test_armstrong.ml: Alcotest Armstrong Closure Deps Fd Fun Helpers List Printf QCheck QCheck_alcotest Relational String

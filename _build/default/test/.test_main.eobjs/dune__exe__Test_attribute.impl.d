@@ -1,0 +1,1 @@
+test/test_attribute.ml: Alcotest Attribute Helpers Relational

@@ -1,0 +1,1 @@
+test/test_closure.ml: Alcotest Closure Deps Helpers List

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Csv Domain Helpers Relation Relational Table

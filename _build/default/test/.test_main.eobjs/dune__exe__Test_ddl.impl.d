@@ -1,0 +1,1 @@
+test/test_ddl.ml: Alcotest Array Ast Database Ddl Domain List Parser Relation Relational Schema Sqlx Table Value Workload

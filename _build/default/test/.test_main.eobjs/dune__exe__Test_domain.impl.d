@@ -1,0 +1,1 @@
+test/test_domain.ml: Alcotest Domain Helpers Relational Value

@@ -1,0 +1,1 @@
+test/test_eer.ml: Alcotest Dot_render Eer Er Fun List Result String Text_render Validate

@@ -1,0 +1,1 @@
+test/test_embedded.ml: Alcotest Ast Embedded List Sqlx Workload

@@ -1,0 +1,1 @@
+test/test_equijoin.ml: Alcotest Equijoin Helpers Relation Relational Schema Sqlx

@@ -1,0 +1,1 @@
+test/test_evaluate.ml: Alcotest Dbre Evaluate Gen_schema Helpers Workload

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Algebra Database Exec Helpers List Parser Printf Relation Relational Sqlx

@@ -1,0 +1,1 @@
+test/test_fd_infer.ml: Alcotest Armstrong Closure Deps Fd Fd_infer Helpers List Printf Relational

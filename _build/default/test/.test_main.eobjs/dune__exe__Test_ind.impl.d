@@ -1,0 +1,1 @@
+test/test_ind.ml: Alcotest Attribute Database Deps Helpers Ind List Relation Relational

@@ -1,0 +1,1 @@
+test/test_ind_closure.ml: Alcotest Dbre Deps Helpers Ind Ind_closure List Workload

@@ -1,0 +1,1 @@
+test/test_ind_discovery.ml: Alcotest Database Dbre Deps Helpers Ind Ind_discovery List Oracle Relation Relational Schema Sqlx Workload

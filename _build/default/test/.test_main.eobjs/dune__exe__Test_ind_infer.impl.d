@@ -1,0 +1,1 @@
+test/test_ind_infer.ml: Alcotest Deps Domain Helpers Ind_infer List Relation Relational Workload

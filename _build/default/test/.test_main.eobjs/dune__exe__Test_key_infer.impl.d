@@ -1,0 +1,1 @@
+test/test_key_infer.ml: Alcotest Array Database Dbre Deps Helpers Key_infer List Relation Relational Schema Table Workload

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Lexer Sqlx Token

@@ -1,0 +1,1 @@
+test/test_lhs_discovery.ml: Alcotest Attribute Dbre Helpers Lhs_discovery List Pipeline Relation Relational Schema Workload

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Array Ast Database Dbre Exec Helpers List Option Parser Pretty Relation Relational Schema Sqlx String Table Value Workload

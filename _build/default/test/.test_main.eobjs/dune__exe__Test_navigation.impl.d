@@ -1,0 +1,1 @@
+test/test_navigation.ml: Alcotest Equijoin Format Helpers List Navigation Relation Relational Schema Sqlx String

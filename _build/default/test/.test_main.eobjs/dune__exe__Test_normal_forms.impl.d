@@ -1,0 +1,1 @@
+test/test_normal_forms.ml: Alcotest Attribute Closure Deps Helpers List Normal_forms Printf Relation Relational

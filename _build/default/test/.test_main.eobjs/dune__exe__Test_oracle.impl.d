@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Attribute Dbre Deps Filename Helpers Ind List Oracle Relational Sqlx Sys

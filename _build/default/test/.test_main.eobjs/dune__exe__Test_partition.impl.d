@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Deps Helpers Partition Printf Relational String

@@ -1,0 +1,1 @@
+test/test_pipeline_properties.ml: Database Dbre Deps Er Fd Ind Int64 List Normal_forms Option Printf QCheck QCheck_alcotest Relation Relational Result Schema Sqlx Table Workload

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Dbre Format Lazy List String Workload

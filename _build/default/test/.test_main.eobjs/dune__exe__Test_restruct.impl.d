@@ -1,0 +1,1 @@
+test/test_restruct.ml: Alcotest Attribute Database Dbre Deps Fd Fun Helpers Ind List Option Oracle Pipeline Relation Relational Restruct Result Schema Workload

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Algebra Dbre Exec Lazy List Option Pipeline Relational Restruct Rewrite Sqlx String Value Workload

@@ -1,0 +1,1 @@
+test/test_rhs_discovery.ml: Alcotest Attribute Dbre Helpers Oracle Relation Relational Rhs_discovery

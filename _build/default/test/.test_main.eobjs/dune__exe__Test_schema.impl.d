@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Attribute Helpers List Relation Relational Schema

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Array Hashtbl Helpers List Relational Result Table Value

@@ -1,0 +1,1 @@
+test/test_to_relational.ml: Alcotest Dbre Deps Eer Er Fun Helpers List Relation Relational Schema To_relational Workload

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Dbre Er Helpers List Option Pipeline Relation Relational Result Schema String Translate Workload

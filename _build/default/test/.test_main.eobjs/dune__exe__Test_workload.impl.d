@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Corrupt Database Dbre Deps Fd Gen_schema Helpers Ind List Relational Result Rng Scenarios Schema Sqlx Workload

@@ -1,0 +1,53 @@
+(* Shared test utilities. *)
+
+open Relational
+
+let vi i = Value.Int i
+let vs s = Value.String s
+let vnull = Value.Null
+
+(* build a table from attribute names and rows of values *)
+let table ?uniques ?not_nulls name attrs rows =
+  let rel = Relation.make ?uniques ?not_nulls name attrs in
+  let t = Table.create rel in
+  List.iter (Table.insert t) rows;
+  t
+
+(* build a database from (relation, rows) pairs *)
+let database rels_rows =
+  let schema = Schema.of_relations (List.map fst rels_rows) in
+  let db = Database.create schema in
+  List.iter
+    (fun (rel, rows) ->
+      List.iter (Database.insert db rel.Relation.name) rows)
+    rels_rows;
+  db
+
+let fd = Deps.Fd.make
+let ind l r = Deps.Ind.make l r
+
+(* Alcotest testables *)
+let value = Alcotest.testable Value.pp Value.equal
+let relation = Alcotest.testable Relation.pp Relation.equal
+let attr = Alcotest.testable Attribute.pp Attribute.equal
+
+let fd_t = Alcotest.testable Deps.Fd.pp Deps.Fd.equal
+let ind_t = Alcotest.testable Deps.Ind.pp Deps.Ind.equal
+let equijoin_t = Alcotest.testable Sqlx.Equijoin.pp Sqlx.Equijoin.equal
+
+let names =
+  Alcotest.testable Attribute.Names.pp Attribute.Names.equal
+
+let sorted_strings l = List.sort String.compare l
+
+let check_sorted_inds msg expected actual =
+  Alcotest.(check (list ind_t))
+    msg
+    (List.sort Deps.Ind.compare expected)
+    (List.sort Deps.Ind.compare actual)
+
+let check_sorted_fds msg expected actual =
+  Alcotest.(check (list fd_t))
+    msg
+    (List.sort Deps.Fd.compare expected)
+    (List.sort Deps.Fd.compare actual)

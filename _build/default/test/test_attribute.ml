@@ -1,0 +1,68 @@
+open Relational
+open Helpers
+
+let test_make_normalizes () =
+  let a = Attribute.make "R" [ "b"; "a"; "b" ] in
+  Alcotest.(check names) "sorted, deduped" [ "a"; "b" ] a.Attribute.attrs;
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Attribute.make: empty attribute set") (fun () ->
+      ignore (Attribute.make "R" []))
+
+let test_printing () =
+  Alcotest.(check string) "singleton" "R.a"
+    (Attribute.to_string (Attribute.single "R" "a"));
+  Alcotest.(check string) "set" "R.{a,b}"
+    (Attribute.to_string (Attribute.make "R" [ "b"; "a" ]))
+
+let test_equal () =
+  Alcotest.(check attr) "order irrelevant"
+    (Attribute.make "R" [ "a"; "b" ])
+    (Attribute.make "R" [ "b"; "a" ]);
+  Alcotest.(check bool) "different rel" false
+    (Attribute.equal (Attribute.single "R" "a") (Attribute.single "S" "a"))
+
+let test_names_subset () =
+  let n = Attribute.Names.normalize in
+  Alcotest.(check bool) "subset" true
+    (Attribute.Names.subset (n [ "a" ]) (n [ "a"; "b" ]));
+  Alcotest.(check bool) "not subset" false
+    (Attribute.Names.subset (n [ "c" ]) (n [ "a"; "b" ]));
+  Alcotest.(check bool) "empty subset" true (Attribute.Names.subset [] (n [ "a" ]));
+  Alcotest.(check bool) "reflexive" true
+    (Attribute.Names.subset (n [ "a"; "b" ]) (n [ "a"; "b" ]))
+
+let test_names_ops () =
+  let n = Attribute.Names.normalize in
+  Alcotest.(check names) "union" (n [ "a"; "b"; "c" ])
+    (Attribute.Names.union (n [ "a"; "c" ]) (n [ "b"; "c" ]));
+  Alcotest.(check names) "inter" [ "c" ]
+    (Attribute.Names.inter (n [ "a"; "c" ]) (n [ "b"; "c" ]));
+  Alcotest.(check names) "diff" [ "a" ]
+    (Attribute.Names.diff (n [ "a"; "c" ]) (n [ "b"; "c" ]));
+  Alcotest.(check bool) "canonical detects unsorted" false
+    (Attribute.Names.is_canonical [ "b"; "a" ]);
+  Alcotest.(check bool) "canonical detects dup" false
+    (Attribute.Names.is_canonical [ "a"; "a" ]);
+  Alcotest.(check bool) "canonical ok" true
+    (Attribute.Names.is_canonical [ "a"; "b" ])
+
+let test_qset () =
+  let s =
+    Attribute.Qset.of_list
+      [
+        Attribute.single "R" "a";
+        Attribute.make "R" [ "a" ];
+        Attribute.single "S" "a";
+      ]
+  in
+  Alcotest.(check int) "set dedupes" 2 (Attribute.Qset.cardinal s)
+
+let suite =
+  [
+    Alcotest.test_case "make normalizes" `Quick test_make_normalizes;
+    Alcotest.test_case "printing" `Quick test_printing;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "names subset" `Quick test_names_subset;
+    Alcotest.test_case "names set ops" `Quick test_names_ops;
+    Alcotest.test_case "qualified sets" `Quick test_qset;
+  ]

@@ -1,0 +1,88 @@
+open Helpers
+open Deps
+
+(* the classic textbook schema: R(a,b,c,d) with a->b, b->c *)
+let fds1 = [ fd "R" [ "a" ] [ "b" ]; fd "R" [ "b" ] [ "c" ] ]
+
+let test_closure () =
+  Alcotest.(check names) "transitive" [ "a"; "b"; "c" ]
+    (Closure.closure fds1 [ "a" ]);
+  Alcotest.(check names) "from b" [ "b"; "c" ] (Closure.closure fds1 [ "b" ]);
+  Alcotest.(check names) "no fds" [ "d" ] (Closure.closure fds1 [ "d" ]);
+  Alcotest.(check names) "input normalized" [ "a"; "b"; "c" ]
+    (Closure.closure fds1 [ "a"; "a" ])
+
+let test_implies () =
+  Alcotest.(check bool) "transitivity" true
+    (Closure.implies fds1 (fd "R" [ "a" ] [ "c" ]));
+  Alcotest.(check bool) "augmentation" true
+    (Closure.implies fds1 (fd "R" [ "a"; "d" ] [ "c" ]));
+  Alcotest.(check bool) "not implied" false
+    (Closure.implies fds1 (fd "R" [ "c" ] [ "a" ]))
+
+let test_equivalent () =
+  let cover1 = [ fd "R" [ "a" ] [ "b"; "c" ] ] in
+  let cover2 = [ fd "R" [ "a" ] [ "b" ]; fd "R" [ "a" ] [ "c" ] ] in
+  Alcotest.(check bool) "equal covers" true (Closure.equivalent cover1 cover2);
+  Alcotest.(check bool) "different covers" false
+    (Closure.equivalent cover1 [ fd "R" [ "a" ] [ "b" ] ])
+
+let test_candidate_keys () =
+  let all = [ "a"; "b"; "c"; "d" ] in
+  Alcotest.(check (list names)) "single key" [ [ "a"; "d" ] ]
+    (Closure.candidate_keys fds1 ~all);
+  (* cyclic: a->b, b->a gives two keys *)
+  let cyc = [ fd "R" [ "a" ] [ "b" ]; fd "R" [ "b" ] [ "a" ] ] in
+  Alcotest.(check (list names)) "two keys" [ [ "a" ]; [ "b" ] ]
+    (Closure.candidate_keys cyc ~all:[ "a"; "b" ]);
+  (* no fds: whole set is the key *)
+  Alcotest.(check (list names)) "no fds" [ [ "a"; "b" ] ]
+    (Closure.candidate_keys [] ~all:[ "a"; "b" ]);
+  (* composite: ab -> c *)
+  Alcotest.(check (list names)) "composite" [ [ "a"; "b" ] ]
+    (Closure.candidate_keys [ fd "R" [ "a"; "b" ] [ "c" ] ] ~all:[ "a"; "b"; "c" ])
+
+let test_keys_no_superset () =
+  (* R(a,b,c): a->bc means {a} is key; {a,b} must not be reported *)
+  let keys = Closure.candidate_keys [ fd "R" [ "a" ] [ "b"; "c" ] ] ~all:[ "a"; "b"; "c" ] in
+  Alcotest.(check (list names)) "minimal only" [ [ "a" ] ] keys
+
+let test_is_superkey () =
+  Alcotest.(check bool) "ad is superkey" true
+    (Closure.is_superkey fds1 ~all:[ "a"; "b"; "c"; "d" ] [ "a"; "d" ]);
+  Alcotest.(check bool) "a alone is not" false
+    (Closure.is_superkey fds1 ~all:[ "a"; "b"; "c"; "d" ] [ "a" ])
+
+let test_minimal_cover () =
+  (* redundant FD: a->c derivable *)
+  let fds = [ fd "R" [ "a" ] [ "b" ]; fd "R" [ "b" ] [ "c" ]; fd "R" [ "a" ] [ "c" ] ] in
+  let cover = Closure.minimal_cover fds in
+  Alcotest.(check bool) "equivalent" true (Closure.equivalent cover fds);
+  Alcotest.(check int) "redundancy removed" 2 (List.length cover);
+  (* extraneous lhs attr: ab->c with a->c means b extraneous *)
+  let fds2 = [ fd "R" [ "a" ] [ "c" ]; fd "R" [ "a"; "b" ] [ "c" ] ] in
+  let cover2 = Closure.minimal_cover fds2 in
+  check_sorted_fds "lhs reduced" [ fd "R" [ "a" ] [ "c" ] ] cover2;
+  Alcotest.(check (list fd_t)) "empty stays empty" [] (Closure.minimal_cover [])
+
+let test_project_fds () =
+  (* R(a,b,c) with a->b, b->c; projecting onto {a,c} implies a->c *)
+  let projected = Closure.project_fds fds1 ~onto:[ "a"; "c" ] ~rel:"P" in
+  check_sorted_fds "transitive dep survives projection"
+    [ fd "P" [ "a" ] [ "c" ] ]
+    projected;
+  (* projecting away the middle of nothing *)
+  let none = Closure.project_fds fds1 ~onto:[ "c"; "d" ] ~rel:"P" in
+  Alcotest.(check (list fd_t)) "no fds" [] none
+
+let suite =
+  [
+    Alcotest.test_case "closure" `Quick test_closure;
+    Alcotest.test_case "implies" `Quick test_implies;
+    Alcotest.test_case "equivalent" `Quick test_equivalent;
+    Alcotest.test_case "candidate keys" `Quick test_candidate_keys;
+    Alcotest.test_case "keys are minimal" `Quick test_keys_no_superset;
+    Alcotest.test_case "is_superkey" `Quick test_is_superkey;
+    Alcotest.test_case "minimal cover" `Quick test_minimal_cover;
+    Alcotest.test_case "project fds" `Quick test_project_fds;
+  ]

@@ -1,0 +1,90 @@
+open Relational
+open Helpers
+
+let test_parse_basic () =
+  Alcotest.(check (list (list string)))
+    "rows" [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Csv.parse "a,b\nc,d\n");
+  Alcotest.(check (list (list string)))
+    "no trailing newline" [ [ "a"; "b" ] ]
+    (Csv.parse "a,b")
+
+let test_parse_quoting () =
+  Alcotest.(check (list (list string)))
+    "embedded comma" [ [ "a,b"; "c" ] ]
+    (Csv.parse "\"a,b\",c\n");
+  Alcotest.(check (list (list string)))
+    "doubled quote" [ [ "say \"hi\"" ] ]
+    (Csv.parse "\"say \"\"hi\"\"\"\n");
+  Alcotest.(check (list (list string)))
+    "embedded newline" [ [ "a\nb"; "c" ] ]
+    (Csv.parse "\"a\nb\",c\n");
+  Alcotest.(check (list (list string)))
+    "crlf" [ [ "a" ]; [ "b" ] ]
+    (Csv.parse "a\r\nb\r\n")
+
+let test_parse_errors () =
+  Alcotest.check_raises "unterminated quote"
+    (Failure "Csv.parse: unterminated quoted field") (fun () ->
+      ignore (Csv.parse "\"abc"))
+
+let test_roundtrip () =
+  let rows = [ [ "a,b"; "plain" ]; [ "with \"q\""; "x\ny" ] ] in
+  Alcotest.(check (list (list string)))
+    "render/parse roundtrip" rows
+    (Csv.parse (Csv.render rows))
+
+let test_load_table () =
+  let rel =
+    Relation.make
+      ~domains:[ ("id", Domain.Int); ("name", Domain.String) ]
+      ~uniques:[ [ "id" ] ] "T" [ "id"; "name" ]
+  in
+  let t = Csv.load_table rel "id,name\n1,ann\n2,bob\n" in
+  Alcotest.(check int) "rows" 2 (Table.cardinality t);
+  Alcotest.(check value) "typed int" (vi 1) (Table.rows t).(0).(0);
+  (* header may reorder columns *)
+  let t2 = Csv.load_table rel "name,id\nann,1\n" in
+  Alcotest.(check value) "reordered" (vi 1) (Table.rows t2).(0).(0);
+  (* empty field loads as NULL *)
+  let t3 = Csv.load_table rel "id,name\n3,\n" in
+  Alcotest.(check value) "null" vnull (Table.rows t3).(0).(1);
+  (* headerless follows declared order *)
+  let t4 = Csv.load_table ~header:false rel "4,dan\n" in
+  Alcotest.(check value) "headerless" (vi 4) (Table.rows t4).(0).(0)
+
+let test_load_errors () =
+  let rel = Relation.make "T" [ "id" ] in
+  Alcotest.check_raises "unknown column"
+    (Failure "Csv.load_table(T): unknown column \"ghost\"") (fun () ->
+      ignore (Csv.load_table rel "ghost\n1\n"));
+  Alcotest.check_raises "width mismatch"
+    (Failure "Csv.load_table(T): row width 2, expected 1") (fun () ->
+      ignore (Csv.load_table rel "id\n1,2\n"))
+
+let test_dump_roundtrip () =
+  let t =
+    table "T" [ "a"; "b" ]
+      [ [ vi 1; vs "x,y" ]; [ vnull; vs "plain" ] ]
+  in
+  let rel =
+    Relation.make
+      ~domains:[ ("a", Domain.Int); ("b", Domain.String) ]
+      "T" [ "a"; "b" ]
+  in
+  let reloaded = Csv.load_table rel (Csv.dump_table t) in
+  Alcotest.(check int) "cardinality preserved" 2 (Table.cardinality reloaded);
+  Alcotest.(check value) "null roundtrips" vnull (Table.rows reloaded).(1).(0);
+  Alcotest.(check value) "comma field roundtrips" (vs "x,y")
+    (Table.rows reloaded).(0).(1)
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse quoting" `Quick test_parse_quoting;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "render roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "load table" `Quick test_load_table;
+    Alcotest.test_case "load errors" `Quick test_load_errors;
+    Alcotest.test_case "dump/load roundtrip" `Quick test_dump_roundtrip;
+  ]

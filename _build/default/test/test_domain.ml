@@ -1,0 +1,66 @@
+open Relational
+open Helpers
+
+let dom = Alcotest.testable Domain.pp Domain.equal
+
+let test_of_value () =
+  Alcotest.(check dom) "int" Domain.Int (Domain.of_value (vi 1));
+  Alcotest.(check dom) "null" Domain.Unknown (Domain.of_value vnull);
+  Alcotest.(check dom) "string" Domain.String (Domain.of_value (vs "x"))
+
+let test_lub () =
+  Alcotest.(check dom) "unknown neutral" Domain.Int
+    (Domain.lub Domain.Unknown Domain.Int);
+  Alcotest.(check dom) "int ⊔ float" Domain.Float
+    (Domain.lub Domain.Int Domain.Float);
+  Alcotest.(check dom) "int ⊔ string" Domain.String
+    (Domain.lub Domain.Int Domain.String);
+  Alcotest.(check dom) "idempotent" Domain.Date
+    (Domain.lub Domain.Date Domain.Date)
+
+let test_member () =
+  Alcotest.(check bool) "null in any" true (Domain.member Domain.Int vnull);
+  Alcotest.(check bool) "int in float" true (Domain.member Domain.Float (vi 3));
+  Alcotest.(check bool) "string not in int" false
+    (Domain.member Domain.Int (vs "x"))
+
+let test_compatible () =
+  Alcotest.(check bool) "int/float" true (Domain.compatible Domain.Int Domain.Float);
+  Alcotest.(check bool) "unknown/any" true
+    (Domain.compatible Domain.Unknown Domain.Date);
+  Alcotest.(check bool) "int/string" false
+    (Domain.compatible Domain.Int Domain.String)
+
+let test_parse () =
+  Alcotest.(check value) "typed int" (vi 5) (Domain.parse Domain.Int "5");
+  Alcotest.(check value) "empty null" vnull (Domain.parse Domain.Int "");
+  Alcotest.(check value)
+    "string keeps digits" (vs "5") (Domain.parse Domain.String "5");
+  Alcotest.(check value) "bool t" (Value.Bool true) (Domain.parse Domain.Bool "t");
+  Alcotest.check_raises "bad int" (Failure "Domain.parse: \"x\" is not an int")
+    (fun () -> ignore (Domain.parse Domain.Int "x"))
+
+let test_of_sql_type () =
+  Alcotest.(check dom) "varchar" Domain.String (Domain.of_sql_type "VARCHAR(20)");
+  Alcotest.(check dom) "integer" Domain.Int (Domain.of_sql_type "integer");
+  Alcotest.(check dom) "date" Domain.Date (Domain.of_sql_type "DATE");
+  Alcotest.(check dom) "decimal" Domain.Float (Domain.of_sql_type "DECIMAL(8,2)");
+  Alcotest.(check dom) "unknown type is string" Domain.String
+    (Domain.of_sql_type "BLOB")
+
+let test_infer_column () =
+  Alcotest.(check dom) "mixed numeric" Domain.Float
+    (Domain.infer_column [ vi 1; Value.Float 2.5; vnull ]);
+  Alcotest.(check dom) "all null" Domain.Unknown
+    (Domain.infer_column [ vnull; vnull ])
+
+let suite =
+  [
+    Alcotest.test_case "of_value" `Quick test_of_value;
+    Alcotest.test_case "lub" `Quick test_lub;
+    Alcotest.test_case "member" `Quick test_member;
+    Alcotest.test_case "compatible" `Quick test_compatible;
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "of_sql_type" `Quick test_of_sql_type;
+    Alcotest.test_case "infer_column" `Quick test_infer_column;
+  ]

@@ -1,0 +1,114 @@
+open Er
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let entity ?(attrs = []) ?(key = []) ?weak_of name =
+  { Eer.e_name = name; e_attrs = attrs; e_key = key; e_weak_of = weak_of }
+
+let rel name roles =
+  {
+    Eer.r_name = name;
+    r_roles =
+      List.map (fun (e, a) -> Eer.role e a) roles;
+    r_attrs = [];
+  }
+
+let sample () =
+  Eer.empty
+  |> Fun.flip Eer.add_entity (entity ~key:[ "id" ] "Person")
+  |> Fun.flip Eer.add_entity (entity ~key:[ "no" ] "Employee")
+  |> Fun.flip Eer.add_entity
+       (entity ~key:[ "date" ] ~attrs:[ "salary" ] ~weak_of:"Employee" "Hist")
+  |> Fun.flip Eer.add_relationship
+       (rel "works" [ ("Person", [ "id" ]); ("Employee", [ "no" ]) ])
+  |> fun t -> Eer.add_isa t ~sub:"Employee" ~super:"Person"
+
+let test_construction () =
+  let t = sample () in
+  let e, r, i = Eer.stats t in
+  Alcotest.(check (list int)) "stats" [ 3; 1; 1 ] [ e; r; i ];
+  Alcotest.(check (list string)) "names" [ "Person"; "Employee"; "Hist" ]
+    (Eer.entity_names t);
+  Alcotest.(check (list string)) "supertypes" [ "Person" ]
+    (Eer.supertypes t "Employee");
+  Alcotest.(check (list string)) "subtypes" [ "Employee" ]
+    (Eer.subtypes t "Person");
+  Alcotest.(check bool) "weak" true (Eer.is_weak t "Hist");
+  Alcotest.(check bool) "not weak" false (Eer.is_weak t "Person")
+
+let test_duplicates_rejected () =
+  let t = sample () in
+  Alcotest.check_raises "dup entity"
+    (Invalid_argument "Eer.add_entity: duplicate entity Person") (fun () ->
+      ignore (Eer.add_entity t (entity "Person")));
+  Alcotest.check_raises "self isa" (Invalid_argument "Eer.add_isa: sub = super")
+    (fun () -> ignore (Eer.add_isa t ~sub:"Person" ~super:"Person"));
+  Alcotest.check_raises "unary relationship"
+    (Invalid_argument "Eer.add_relationship: solo needs at least two roles")
+    (fun () -> ignore (Eer.add_relationship t (rel "solo" [ ("Person", []) ])))
+
+let test_isa_idempotent () =
+  let t = sample () in
+  let t2 = Eer.add_isa t ~sub:"Employee" ~super:"Person" in
+  Alcotest.(check int) "no duplicate link" 1 (List.length t2.Eer.isas)
+
+let test_validate_ok () =
+  Alcotest.(check (result unit (list string))) "valid" (Ok ())
+    (Validate.check (sample ()))
+
+let test_validate_errors () =
+  let bad_role =
+    Eer.add_relationship (sample ()) (rel "ghostly" [ ("Ghost", []); ("Person", []) ])
+  in
+  Alcotest.(check bool) "unknown role entity" true
+    (Result.is_error (Validate.check bad_role));
+  let bad_isa = Eer.add_isa (sample ()) ~sub:"Ghost2" ~super:"Person" in
+  Alcotest.(check bool) "unknown isa entity" true
+    (Result.is_error (Validate.check bad_isa));
+  let cycle =
+    Eer.add_isa
+      (Eer.add_isa (sample ()) ~sub:"Person" ~super:"Hist")
+      ~sub:"Hist" ~super:"Employee"
+  in
+  (* Person -> Hist -> Employee -> Person: cycle *)
+  Alcotest.(check bool) "isa cycle" true (Result.is_error (Validate.check cycle));
+  let keyless = Eer.add_entity (sample ()) (entity "NoKey") in
+  Alcotest.(check bool) "missing identifier" true
+    (Result.is_error (Validate.check keyless));
+  let clash = Eer.add_entity (sample ()) (entity ~key:[ "x" ] "works") in
+  Alcotest.(check bool) "entity/relationship name clash" true
+    (Result.is_error (Validate.check clash))
+
+let test_text_render () =
+  let s = Text_render.to_string (sample ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "Person([id])"; "[weak of Employee]"; "Employee is-a Person"; "works" ]
+
+let test_dot_render () =
+  let dot = Dot_render.render (sample ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains dot needle))
+    [
+      "digraph eer";
+      "shape=box";
+      "peripheries=2";
+      "shape=diamond";
+      "arrowhead=normalnormal";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "duplicates rejected" `Quick test_duplicates_rejected;
+    Alcotest.test_case "isa idempotent" `Quick test_isa_idempotent;
+    Alcotest.test_case "validate ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate errors" `Quick test_validate_errors;
+    Alcotest.test_case "text render" `Quick test_text_render;
+    Alcotest.test_case "dot render" `Quick test_dot_render;
+  ]

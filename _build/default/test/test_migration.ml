@@ -1,0 +1,205 @@
+open Relational
+open Helpers
+open Sqlx
+
+(* ---------- statement execution primitives ---------- *)
+
+let small_db () =
+  database
+    [
+      ( Relation.make ~uniques:[ [ "id" ] ] "T" [ "id"; "v"; "w" ],
+        [ [ vi 1; vs "a"; vi 10 ]; [ vi 2; vs "b"; vi 20 ]; [ vi 3; vs "a"; vi 30 ] ]
+      );
+    ]
+
+let test_exec_create_insert () =
+  let db = small_db () in
+  Exec.exec_script db
+    "CREATE TABLE U (k INT, l VARCHAR(8)); INSERT INTO U VALUES (1, 'x');\n\
+     INSERT INTO U (k) VALUES (2);";
+  Alcotest.(check int) "rows" 2 (Database.cardinality db "U");
+  Alcotest.(check value) "missing column null" vnull
+    (Table.rows (Database.table db "U")).(1).(1)
+
+let test_exec_insert_select () =
+  let db = small_db () in
+  Exec.exec_script db
+    "CREATE TABLE V (v VARCHAR(8));\n\
+     INSERT INTO V (v) SELECT DISTINCT v FROM T WHERE v IS NOT NULL;";
+  Alcotest.(check int) "distinct values copied" 2 (Database.cardinality db "V")
+
+let test_exec_insert_select_width_mismatch () =
+  let db = small_db () in
+  try
+    Exec.exec_script db
+      "CREATE TABLE V (v VARCHAR(8)); INSERT INTO V (v) SELECT v, w FROM T;";
+    Alcotest.fail "expected width error"
+  with Exec.Error _ -> ()
+
+let test_exec_update () =
+  let db = small_db () in
+  Exec.exec_script db "UPDATE T SET v = 'z' WHERE w > 15;";
+  let changed =
+    Table.select (Database.table db "T") (fun tup -> Value.equal tup.(1) (vs "z"))
+  in
+  Alcotest.(check int) "two rows updated" 2 (List.length changed);
+  Exec.exec_script db "UPDATE T SET w = 0;";
+  Alcotest.(check int) "unconditional update" 1
+    (Table.count_distinct (Database.table db "T") [ "w" ])
+
+let test_exec_delete () =
+  let db = small_db () in
+  Exec.exec_script db "DELETE FROM T WHERE v = 'a';";
+  Alcotest.(check int) "one row left" 1 (Database.cardinality db "T");
+  Exec.exec_script db "DELETE FROM T;";
+  Alcotest.(check int) "all gone" 0 (Database.cardinality db "T")
+
+let test_exec_drop_column () =
+  let db = small_db () in
+  Exec.exec_script db "ALTER TABLE T DROP COLUMN v;";
+  let rel = Table.schema (Database.table db "T") in
+  Alcotest.(check (list string)) "column gone" [ "id"; "w" ] rel.Relation.attrs;
+  Alcotest.(check int) "rows kept" 3 (Database.cardinality db "T");
+  (try
+     Exec.exec_script db "ALTER TABLE T DROP COLUMN ghost;";
+     Alcotest.fail "expected unknown-column error"
+   with Exec.Error _ -> ())
+
+let test_exec_add_fk () =
+  let db =
+    database
+      [
+        ( Relation.make ~uniques:[ [ "id" ] ] "P" [ "id" ],
+          [ [ vi 1 ]; [ vi 2 ] ] );
+        (Relation.make "C" [ "ref" ], [ [ vi 1 ]; [ vnull ] ]);
+        (Relation.make "Bad" [ "ref" ], [ [ vi 9 ] ]);
+      ]
+  in
+  (* satisfied (nulls exempt, FK semantics) *)
+  Exec.exec_script db "ALTER TABLE C ADD FOREIGN KEY (ref) REFERENCES P (id);";
+  (* referenced columns default to the key *)
+  Exec.exec_script db "ALTER TABLE C ADD FOREIGN KEY (ref) REFERENCES P;";
+  try
+    Exec.exec_script db "ALTER TABLE Bad ADD FOREIGN KEY (ref) REFERENCES P (id);";
+    Alcotest.fail "expected FK violation"
+  with Exec.Error _ -> ()
+
+let test_alter_parse_print_roundtrip () =
+  List.iter
+    (fun sql ->
+      let stmt = Parser.parse_statement sql in
+      Alcotest.(check string) ("roundtrip " ^ sql) sql
+        (Pretty.statement_to_string stmt))
+    [
+      "ALTER TABLE T DROP COLUMN v";
+      "ALTER TABLE T ADD FOREIGN KEY (a, b) REFERENCES S (x, y)";
+      "INSERT INTO T (a) SELECT DISTINCT b FROM S WHERE b IS NOT NULL";
+    ]
+
+(* ---------- migration round-trips ---------- *)
+
+let databases_extensionally_equal expected actual =
+  List.for_all
+    (fun rel ->
+      let name = rel.Relation.name in
+      match Database.table_opt actual name with
+      | None -> false
+      | Some t ->
+          let sort tbl = List.sort compare (Table.to_lists tbl) in
+          (Table.schema t).Relation.attrs = rel.Relation.attrs
+          && sort t = sort (Database.table expected name))
+    (Schema.relations (Database.schema expected))
+
+let roundtrip scenario_db oracle input fresh_db =
+  let db = scenario_db in
+  let original = Database.schema db in
+  let result =
+    Dbre.Pipeline.run
+      ~config:{ Dbre.Pipeline.default_config with Dbre.Pipeline.oracle }
+      db input
+  in
+  let sql = Dbre.Migration.script ~original result in
+  let fresh = fresh_db in
+  Exec.exec_script fresh sql;
+  let expected =
+    Option.get result.Dbre.Pipeline.restruct_result.Dbre.Restruct.database
+  in
+  (sql, expected, fresh)
+
+let test_paper_roundtrip () =
+  let sql, expected, fresh =
+    roundtrip
+      (Workload.Paper_example.database ())
+      (Workload.Paper_example.oracle ())
+      (Dbre.Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+      (Workload.Paper_example.database ())
+  in
+  Alcotest.(check bool) "script nonempty" true (String.length sql > 500);
+  Alcotest.(check bool) "extensionally equal" true
+    (databases_extensionally_equal expected fresh);
+  (* every statement of the script parses back *)
+  Alcotest.(check bool) "script reparses" true
+    (List.length (Parser.parse_script sql) > 10)
+
+let test_payroll_roundtrip () =
+  let s = Workload.Scenarios.payroll in
+  let _, expected, fresh =
+    roundtrip
+      (s.Workload.Scenarios.database ())
+      (s.Workload.Scenarios.oracle ())
+      (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+      (s.Workload.Scenarios.database ())
+  in
+  Alcotest.(check bool) "extensionally equal" true
+    (databases_extensionally_equal expected fresh)
+
+let test_synthetic_roundtrip () =
+  let g () = Workload.Gen_schema.generate Workload.Gen_schema.default_spec in
+  let w = g () in
+  let _, expected, fresh =
+    roundtrip w.Workload.Gen_schema.db Dbre.Oracle.automatic
+      (Dbre.Pipeline.Equijoins w.Workload.Gen_schema.equijoins)
+      (g ()).Workload.Gen_schema.db
+  in
+  Alcotest.(check bool) "extensionally equal" true
+    (databases_extensionally_equal expected fresh)
+
+let test_migration_fks_validate () =
+  (* applying the script must not raise: every generated FK holds *)
+  let db = Workload.Paper_example.database () in
+  let original = Database.schema db in
+  let result =
+    Dbre.Pipeline.run
+      ~config:
+        {
+          Dbre.Pipeline.default_config with
+          Dbre.Pipeline.oracle = Workload.Paper_example.oracle ();
+        }
+      db
+      (Dbre.Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+  in
+  let sql = Dbre.Migration.script ~original result in
+  let fresh = Workload.Paper_example.database () in
+  (* would raise Exec.Error on any violated ALTER ... ADD FOREIGN KEY *)
+  Exec.exec_script fresh sql;
+  Alcotest.(check int) "ten FK statements" 10
+    (List.length
+       (List.filter
+          (function Ast.Alter (_, Ast.Add_foreign_key _) -> true | _ -> false)
+          (Parser.parse_script sql)))
+
+let suite =
+  [
+    Alcotest.test_case "exec create/insert" `Quick test_exec_create_insert;
+    Alcotest.test_case "exec insert-select" `Quick test_exec_insert_select;
+    Alcotest.test_case "exec insert-select width" `Quick test_exec_insert_select_width_mismatch;
+    Alcotest.test_case "exec update" `Quick test_exec_update;
+    Alcotest.test_case "exec delete" `Quick test_exec_delete;
+    Alcotest.test_case "exec drop column" `Quick test_exec_drop_column;
+    Alcotest.test_case "exec add foreign key" `Quick test_exec_add_fk;
+    Alcotest.test_case "alter parse/print" `Quick test_alter_parse_print_roundtrip;
+    Alcotest.test_case "paper migration roundtrip" `Quick test_paper_roundtrip;
+    Alcotest.test_case "payroll migration roundtrip" `Quick test_payroll_roundtrip;
+    Alcotest.test_case "synthetic migration roundtrip" `Quick test_synthetic_roundtrip;
+    Alcotest.test_case "migration FKs validate" `Quick test_migration_fks_validate;
+  ]

@@ -1,0 +1,108 @@
+open Relational
+open Helpers
+open Deps
+
+let nf = Alcotest.testable Normal_forms.pp_nf (fun a b -> a = b)
+
+(* the paper's §5 relations with their actual dependencies *)
+let test_paper_normal_forms () =
+  (* Person(id, name, zip, state): key id, zip -> state ⇒ 2NF (transitive
+     dep on a non-key) but not 3NF *)
+  let person_fds =
+    [
+      fd "Person" [ "id" ] [ "name"; "zip"; "state" ];
+      fd "Person" [ "zip" ] [ "state" ];
+    ]
+  in
+  Alcotest.(check nf) "Person is 2NF" Normal_forms.Nf2
+    (Normal_forms.normal_form person_fds ~all:[ "id"; "name"; "zip"; "state" ]);
+  (* Department(dep, emp, skill, location, proj): key dep,
+     emp -> skill, proj ⇒ transitive ⇒ 2NF *)
+  let dept_fds =
+    [
+      fd "Department" [ "dep" ] [ "emp"; "skill"; "location"; "proj" ];
+      fd "Department" [ "emp" ] [ "skill"; "proj" ];
+    ]
+  in
+  Alcotest.(check nf) "Department is 2NF" Normal_forms.Nf2
+    (Normal_forms.normal_form dept_fds
+       ~all:[ "dep"; "emp"; "skill"; "location"; "proj" ]);
+  (* Assignment(emp, dep, proj, date, pname): key {emp,dep,proj},
+     proj -> pname ⇒ partial dep on key part ⇒ 1NF *)
+  let asg_fds =
+    [
+      fd "Assignment" [ "emp"; "dep"; "proj" ] [ "date"; "pname" ];
+      fd "Assignment" [ "proj" ] [ "pname" ];
+    ]
+  in
+  Alcotest.(check nf) "Assignment is 1NF" Normal_forms.Nf1
+    (Normal_forms.normal_form asg_fds
+       ~all:[ "emp"; "dep"; "proj"; "date"; "pname" ]);
+  (* HEmployee(no, date, salary): key {no, date}, no other FD ⇒ BCNF *)
+  let h_fds = [ fd "HEmployee" [ "no"; "date" ] [ "salary" ] ] in
+  Alcotest.(check nf) "HEmployee is BCNF" Normal_forms.Bcnf
+    (Normal_forms.normal_form h_fds ~all:[ "no"; "date"; "salary" ])
+
+let test_3nf_not_bcnf () =
+  (* classic: R(street, city, zip) with street,city -> zip; zip -> city *)
+  let fds =
+    [ fd "R" [ "street"; "city" ] [ "zip" ]; fd "R" [ "zip" ] [ "city" ] ]
+  in
+  let all = [ "street"; "city"; "zip" ] in
+  Alcotest.(check bool) "3NF" true (Normal_forms.is_3nf fds ~all);
+  Alcotest.(check bool) "not BCNF" false (Normal_forms.is_bcnf fds ~all);
+  Alcotest.(check nf) "normal_form" Normal_forms.Nf3
+    (Normal_forms.normal_form fds ~all)
+
+let test_prime_attrs () =
+  let fds =
+    [ fd "R" [ "street"; "city" ] [ "zip" ]; fd "R" [ "zip" ] [ "city" ] ]
+  in
+  Alcotest.(check names) "all prime here" [ "city"; "street"; "zip" ]
+    (Normal_forms.prime_attrs fds ~all:[ "street"; "city"; "zip" ])
+
+let test_synthesize_3nf () =
+  (* Assignment-like: key {e,d,p}, p -> n *)
+  let fds =
+    [ fd "R" [ "e"; "d"; "p" ] [ "t" ]; fd "R" [ "p" ] [ "n" ] ]
+  in
+  let rels = Normal_forms.synthesize_3nf ~rel_prefix:"S" fds ~all:[ "e"; "d"; "p"; "t"; "n" ] in
+  (* every output relation is in 3NF w.r.t. projected FDs *)
+  List.iter
+    (fun r ->
+      let projected =
+        Closure.project_fds fds ~onto:r.Relation.attrs ~rel:r.Relation.name
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in 3NF" r.Relation.name)
+        true
+        (Normal_forms.is_3nf projected ~all:r.Relation.attrs))
+    rels;
+  (* lossless-ish sanity: some relation contains a candidate key *)
+  let cover = Closure.minimal_cover fds in
+  Alcotest.(check bool) "a key is preserved" true
+    (List.exists
+       (fun r ->
+         Closure.is_superkey cover ~all:[ "e"; "d"; "p"; "t"; "n" ]
+           r.Relation.attrs)
+       rels);
+  (* attribute preservation *)
+  let covered =
+    List.fold_left
+      (fun acc r -> Attribute.Names.union acc r.Relation.attrs)
+      [] rels
+  in
+  Alcotest.(check names) "attributes preserved" [ "d"; "e"; "n"; "p"; "t" ] covered
+
+let test_synthesize_no_fds () =
+  let rels = Normal_forms.synthesize_3nf ~rel_prefix:"S" [] ~all:[ "a"; "b" ] in
+  Alcotest.(check int) "one relation" 1 (List.length rels)
+
+let suite =
+  [
+    Alcotest.test_case "paper §5 normal forms" `Quick test_paper_normal_forms;
+    Alcotest.test_case "3NF but not BCNF" `Quick test_3nf_not_bcnf;
+    Alcotest.test_case "prime attributes" `Quick test_prime_attrs;
+    Alcotest.test_case "3NF synthesis" `Quick test_synthesize_3nf;
+    Alcotest.test_case "synthesis without FDs" `Quick test_synthesize_no_fds;
+  ]

@@ -1,0 +1,83 @@
+open Relational
+open Helpers
+
+let person =
+  Relation.make
+    ~uniques:[ [ "id" ] ]
+    ~not_nulls:[ "name" ] "Person" [ "id"; "name"; "zip" ]
+
+let hemployee =
+  Relation.make ~uniques:[ [ "no"; "date" ] ] "HEmployee"
+    [ "no"; "date"; "salary" ]
+
+let test_make_validation () =
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Relation.make(R): duplicate attribute") (fun () ->
+      ignore (Relation.make "R" [ "a"; "a" ]));
+  Alcotest.check_raises "empty attrs"
+    (Invalid_argument "Relation.make: empty attribute list") (fun () ->
+      ignore (Relation.make "R" []));
+  Alcotest.check_raises "unknown constraint attr"
+    (Invalid_argument "Relation.make(R): unknown attribute b in constraint")
+    (fun () -> ignore (Relation.make ~uniques:[ [ "b" ] ] "R" [ "a" ]))
+
+let test_keys () =
+  Alcotest.(check bool) "id is key" true (Relation.is_key person [ "id" ]);
+  Alcotest.(check bool) "name not key" false (Relation.is_key person [ "name" ]);
+  Alcotest.(check bool) "composite key" true
+    (Relation.is_key hemployee [ "date"; "no" ]);
+  Alcotest.(check bool) "part of key is not key" false
+    (Relation.is_key hemployee [ "no" ]);
+  Alcotest.(check names) "key attrs union" [ "date"; "no" ]
+    (Relation.key_attrs hemployee)
+
+let test_not_null () =
+  Alcotest.(check names) "declared + key attrs" [ "id"; "name" ]
+    (Relation.not_null_attrs person);
+  Alcotest.(check bool) "zip nullable" true (Relation.nullable person "zip");
+  Alcotest.(check bool) "key attr not nullable" false
+    (Relation.nullable hemployee "no")
+
+let test_project () =
+  let p = Relation.project person [ "id"; "zip" ] in
+  Alcotest.(check (list string)) "attrs keep declared order" [ "id"; "zip" ]
+    p.Relation.attrs;
+  Alcotest.(check bool) "key survives" true (Relation.is_key p [ "id" ]);
+  let q = Relation.project person [ "name"; "zip" ] in
+  Alcotest.(check bool) "key dropped when attr gone" false
+    (Relation.is_key q [ "id" ]);
+  Alcotest.check_raises "unknown attr"
+    (Invalid_argument "Relation.project(Person): unknown attribute ghost")
+    (fun () -> ignore (Relation.project person [ "ghost" ]))
+
+let test_remove_attrs () =
+  let r = Relation.remove_attrs person [ "zip" ] in
+  Alcotest.(check (list string)) "removed" [ "id"; "name" ] r.Relation.attrs
+
+let test_add_unique () =
+  let r = Relation.add_unique person [ "zip" ] in
+  Alcotest.(check bool) "added" true (Relation.is_key r [ "zip" ]);
+  let r2 = Relation.add_unique r [ "zip" ] in
+  Alcotest.(check relation) "idempotent" r r2
+
+let test_attr_index () =
+  Alcotest.(check int) "position" 1 (Relation.attr_index person "name");
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Relation.attr_index person "ghost"))
+
+let test_pp () =
+  Alcotest.(check string) "annotated rendering"
+    "Person([id], name!, zip)"
+    (Relation.to_string person)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "keys" `Quick test_keys;
+    Alcotest.test_case "not null" `Quick test_not_null;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "remove attrs" `Quick test_remove_attrs;
+    Alcotest.test_case "add unique" `Quick test_add_unique;
+    Alcotest.test_case "attr index" `Quick test_attr_index;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,199 @@
+open Relational
+open Helpers
+open Deps
+open Dbre
+
+(* W(id key, ref, payload, other); hidden: W.other; fd: ref -> payload *)
+let setup () =
+  let db =
+    database
+      [
+        ( Relation.make ~uniques:[ [ "id" ] ] "W" [ "id"; "ref"; "payload"; "other" ],
+          [
+            [ vi 1; vi 10; vs "p10"; vs "x" ];
+            [ vi 2; vi 10; vs "p10"; vs "y" ];
+            [ vi 3; vi 20; vs "p20"; vs "x" ];
+            [ vi 4; vnull; vnull; vs "z" ];
+          ] );
+        ( Relation.make ~uniques:[ [ "rid" ] ] "R" [ "rid" ],
+          [ [ vi 10 ]; [ vi 20 ]; [ vi 30 ] ] );
+      ]
+  in
+  let inds = [ ind ("W", [ "ref" ]) ("R", [ "rid" ]) ] in
+  (db, inds)
+
+let oracle =
+  Oracle.scripted
+    {
+      Oracle.nei_choices = [];
+      fd_rejections = [];
+      fd_enforcements = [];
+      hidden_accepted = [];
+      hidden_names = [ ("W.other", "Other") ];
+      fd_names = [ ("W: ref -> payload", "Ref") ];
+    }
+
+let run () =
+  let db, inds = setup () in
+  let r =
+    Restruct.run oracle ~db ~schema:(Database.schema db)
+      ~fds:[ fd "W" [ "ref" ] [ "payload" ] ]
+      ~hidden:[ Attribute.single "W" "other" ]
+      ~inds ()
+  in
+  (db, r)
+
+let test_hidden_materialized () =
+  let _, r = run () in
+  let other = Schema.find_exn r.Restruct.schema "Other" in
+  Alcotest.(check (list string)) "attrs" [ "other" ] other.Relation.attrs;
+  Alcotest.(check bool) "keyed" true (Relation.is_key other [ "other" ]);
+  match r.Restruct.database with
+  | Some db ->
+      Alcotest.(check int) "distinct values" 3 (Database.cardinality db "Other")
+  | None -> Alcotest.fail "expected migrated database"
+
+let test_fd_split () =
+  let _, r = run () in
+  let refr = Schema.find_exn r.Restruct.schema "Ref" in
+  Alcotest.(check (list string)) "split attrs" [ "ref"; "payload" ] refr.Relation.attrs;
+  Alcotest.(check bool) "lhs keyed" true (Relation.is_key refr [ "ref" ]);
+  let w = Schema.find_exn r.Restruct.schema "W" in
+  Alcotest.(check (list string)) "payload removed from W"
+    [ "id"; "ref"; "other" ] w.Relation.attrs;
+  match r.Restruct.database with
+  | Some db ->
+      (* distinct non-null refs: 10, 20 *)
+      Alcotest.(check int) "Ref extension" 2 (Database.cardinality db "Ref");
+      Alcotest.(check int) "W keeps its rows" 4 (Database.cardinality db "W");
+      (* split FD holds in the new relation *)
+      Alcotest.(check bool) "fd holds in Ref" true
+        (Fd.satisfied_by (Database.table db "Ref") (fd "Ref" [ "ref" ] [ "payload" ]))
+  | None -> Alcotest.fail "expected migrated database"
+
+let test_ind_rewrite_and_ric () =
+  let _, r = run () in
+  (* W[ref] << R[rid] rewritten to Ref[ref] << R[rid]; new INDs added *)
+  check_sorted_inds "final inds"
+    [
+      ind ("Ref", [ "ref" ]) ("R", [ "rid" ]);
+      ind ("W", [ "other" ]) ("Other", [ "other" ]);
+      ind ("W", [ "ref" ]) ("Ref", [ "ref" ]);
+    ]
+    r.Restruct.inds;
+  (* all have key rhs: all are RIC *)
+  check_sorted_inds "ric = inds here" r.Restruct.inds r.Restruct.ric
+
+let test_ric_holds_on_migrated_data () =
+  let _, r = run () in
+  match r.Restruct.database with
+  | Some db ->
+      List.iter
+        (fun i ->
+          Alcotest.(check bool)
+            (Ind.to_string i ^ " satisfied after migration")
+            true (Ind.satisfied db i))
+        r.Restruct.ric
+  | None -> Alcotest.fail "expected migrated database"
+
+let test_renamings () =
+  let _, r = run () in
+  Alcotest.(check int) "two renamings" 2 (List.length r.Restruct.renamings);
+  Alcotest.(check (option string)) "hidden renaming" (Some "Other")
+    (List.assoc_opt (Attribute.single "W" "other") r.Restruct.renamings
+     |> Option.map Fun.id)
+
+let test_no_db_mode () =
+  let db, inds = setup () in
+  let r =
+    Restruct.run oracle ~schema:(Database.schema db)
+      ~fds:[ fd "W" [ "ref" ] [ "payload" ] ]
+      ~hidden:[] ~inds ()
+  in
+  Alcotest.(check bool) "no database" true (r.Restruct.database = None);
+  Alcotest.(check bool) "schema still restructured" true
+    (Schema.mem r.Restruct.schema "Ref")
+
+let test_name_collision () =
+  let db, inds = setup () in
+  let clash =
+    Oracle.scripted
+      {
+        Oracle.nei_choices = [];
+        fd_rejections = [];
+        fd_enforcements = [];
+        hidden_accepted = [];
+        hidden_names = [];
+        fd_names = [ ("W: ref -> payload", "R") ] (* collides with existing R *);
+      }
+  in
+  let r =
+    Restruct.run clash ~schema:(Database.schema db)
+      ~fds:[ fd "W" [ "ref" ] [ "payload" ] ]
+      ~hidden:[] ~inds ()
+  in
+  Alcotest.(check bool) "suffixed name" true (Schema.mem r.Restruct.schema "R_1")
+
+let test_paper_restructured_schema () =
+  let result = Workload.Paper_example.run () in
+  let schema = result.Pipeline.restruct_result.Restruct.schema in
+  Alcotest.(check (list string)) "nine relations, paper order"
+    [
+      "Person"; "HEmployee"; "Department"; "Assignment"; "Ass-Dept";
+      "Employee"; "Other-Dept"; "Manager"; "Project";
+    ]
+    (List.map (fun r -> r.Relation.name) (Schema.relations schema));
+  Alcotest.(check (list string)) "Department shrunk" [ "dep"; "emp"; "location" ]
+    (Schema.find_exn schema "Department").Relation.attrs;
+  Alcotest.(check (list string)) "Assignment shrunk"
+    [ "emp"; "dep"; "proj"; "date" ]
+    (Schema.find_exn schema "Assignment").Relation.attrs;
+  Alcotest.(check (list string)) "Manager structure" [ "emp"; "skill"; "proj" ]
+    (Schema.find_exn schema "Manager").Relation.attrs;
+  Alcotest.(check (list string)) "Project structure" [ "proj"; "project-name" ]
+    (Schema.find_exn schema "Project").Relation.attrs
+
+let test_paper_ric () =
+  let result = Workload.Paper_example.run () in
+  let ric = result.Pipeline.restruct_result.Restruct.ric in
+  check_sorted_inds "the ten §7 RICs"
+    [
+      ind ("Employee", [ "no" ]) ("Person", [ "id" ]);
+      ind ("Manager", [ "emp" ]) ("Employee", [ "no" ]);
+      ind ("Assignment", [ "emp" ]) ("Employee", [ "no" ]);
+      ind ("Ass-Dept", [ "dep" ]) ("Other-Dept", [ "dep" ]);
+      ind ("Assignment", [ "dep" ]) ("Other-Dept", [ "dep" ]);
+      ind ("Ass-Dept", [ "dep" ]) ("Department", [ "dep" ]);
+      ind ("Manager", [ "proj" ]) ("Project", [ "proj" ]);
+      ind ("HEmployee", [ "no" ]) ("Employee", [ "no" ]);
+      ind ("Department", [ "emp" ]) ("Manager", [ "emp" ]);
+      ind ("Assignment", [ "proj" ]) ("Project", [ "proj" ]);
+    ]
+    ric
+
+let test_paper_migrated_constraints () =
+  let result = Workload.Paper_example.run () in
+  match result.Pipeline.restruct_result.Restruct.database with
+  | Some db ->
+      (* every RIC and every declared constraint holds after migration *)
+      List.iter
+        (fun i ->
+          Alcotest.(check bool) (Ind.to_string i) true (Ind.satisfied db i))
+        result.Pipeline.restruct_result.Restruct.ric;
+      Alcotest.(check bool) "dictionary constraints hold" true
+        (Result.is_ok (Database.check_constraints db))
+  | None -> Alcotest.fail "expected migrated database"
+
+let suite =
+  [
+    Alcotest.test_case "hidden materialized" `Quick test_hidden_materialized;
+    Alcotest.test_case "fd split" `Quick test_fd_split;
+    Alcotest.test_case "ind rewrite and ric" `Quick test_ind_rewrite_and_ric;
+    Alcotest.test_case "ric holds on migrated data" `Quick test_ric_holds_on_migrated_data;
+    Alcotest.test_case "renamings" `Quick test_renamings;
+    Alcotest.test_case "schema-only mode" `Quick test_no_db_mode;
+    Alcotest.test_case "name collision" `Quick test_name_collision;
+    Alcotest.test_case "paper schema" `Quick test_paper_restructured_schema;
+    Alcotest.test_case "paper RIC" `Quick test_paper_ric;
+    Alcotest.test_case "paper migrated constraints" `Quick test_paper_migrated_constraints;
+  ]

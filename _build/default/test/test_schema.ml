@@ -1,0 +1,83 @@
+open Relational
+open Helpers
+
+let sample () =
+  Schema.of_relations
+    [
+      Relation.make ~uniques:[ [ "id" ] ] "Person" [ "id"; "name" ];
+      Relation.make
+        ~uniques:[ [ "no"; "date" ] ]
+        "HEmployee" [ "no"; "date"; "salary" ];
+      Relation.make ~uniques:[ [ "dep" ] ] ~not_nulls:[ "location" ]
+        "Department" [ "dep"; "emp"; "location" ];
+    ]
+
+let test_lookup () =
+  let s = sample () in
+  Alcotest.(check bool) "mem" true (Schema.mem s "Person");
+  Alcotest.(check bool) "not mem" false (Schema.mem s "Ghost");
+  Alcotest.(check int) "size" 3 (Schema.size s);
+  Alcotest.(check (option relation)) "find"
+    (Some (Relation.make ~uniques:[ [ "id" ] ] "Person" [ "id"; "name" ]))
+    (Schema.find s "Person")
+
+let test_duplicate () =
+  Alcotest.check_raises "duplicate relation"
+    (Invalid_argument "Schema.add: duplicate relation Person") (fun () ->
+      ignore (Schema.add (sample ()) (Relation.make "Person" [ "x" ])))
+
+let test_replace_remove () =
+  let s = sample () in
+  let s' = Schema.replace s (Relation.make "Person" [ "id" ]) in
+  Alcotest.(check int) "replace keeps size" 3 (Schema.size s');
+  Alcotest.(check (list string)) "replaced attrs" [ "id" ]
+    (Schema.find_exn s' "Person").Relation.attrs;
+  let s'' = Schema.remove s' "Person" in
+  Alcotest.(check int) "removed" 2 (Schema.size s'')
+
+let test_k_set () =
+  let ks = Schema.k_set (sample ()) in
+  Alcotest.(check (list attr)) "K"
+    [
+      Attribute.make "Person" [ "id" ];
+      Attribute.make "HEmployee" [ "no"; "date" ];
+      Attribute.make "Department" [ "dep" ];
+    ]
+    ks
+
+let test_n_set () =
+  let ns = Schema.n_set (sample ()) in
+  let strs = sorted_strings (List.map Attribute.to_string ns) in
+  Alcotest.(check (list string)) "N"
+    (sorted_strings
+       [
+         "Person.id"; "HEmployee.date"; "HEmployee.no"; "Department.dep";
+         "Department.location";
+       ])
+    strs
+
+let test_is_key () =
+  let s = sample () in
+  Alcotest.(check bool) "composite order-insensitive" true
+    (Schema.is_key s "HEmployee" [ "date"; "no" ]);
+  Alcotest.(check bool) "part of key" false (Schema.is_key s "HEmployee" [ "no" ]);
+  Alcotest.(check bool) "unknown rel" false (Schema.is_key s "Ghost" [ "x" ])
+
+let test_attr_not_null () =
+  let s = sample () in
+  Alcotest.(check bool) "declared" true
+    (Schema.attr_not_null s "Department" "location");
+  Alcotest.(check bool) "implied by key" true
+    (Schema.attr_not_null s "Department" "dep");
+  Alcotest.(check bool) "nullable" false (Schema.attr_not_null s "Department" "emp")
+
+let suite =
+  [
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate;
+    Alcotest.test_case "replace and remove" `Quick test_replace_remove;
+    Alcotest.test_case "K set" `Quick test_k_set;
+    Alcotest.test_case "N set" `Quick test_n_set;
+    Alcotest.test_case "is_key" `Quick test_is_key;
+    Alcotest.test_case "attr_not_null" `Quick test_attr_not_null;
+  ]

@@ -1,0 +1,82 @@
+open Relational
+open Helpers
+
+let check_order msg a b =
+  Alcotest.(check bool) msg true (Value.compare a b < 0)
+
+let test_compare_within () =
+  check_order "ints" (vi 1) (vi 2);
+  check_order "strings" (vs "a") (vs "b");
+  check_order "floats" (Value.Float 1.5) (Value.Float 2.5);
+  check_order "bools" (Value.Bool false) (Value.Bool true);
+  check_order "dates y" (Value.date 2020 1 1) (Value.date 2021 1 1);
+  check_order "dates m" (Value.date 2020 1 9) (Value.date 2020 2 1);
+  check_order "dates d" (Value.date 2020 1 1) (Value.date 2020 1 2)
+
+let test_compare_across () =
+  check_order "null < bool" vnull (Value.Bool false);
+  check_order "bool < int" (Value.Bool true) (vi 0);
+  check_order "int < string" (vi 999) (vs "");
+  check_order "string < date" (vs "zzz") (Value.date 1900 1 1)
+
+let test_numeric_mixing () =
+  Alcotest.(check int) "2 = 2.0" 0 (Value.compare (vi 2) (Value.Float 2.0));
+  check_order "1 < 1.5" (vi 1) (Value.Float 1.5);
+  check_order "1.5 < 2" (Value.Float 1.5) (vi 2);
+  Alcotest.(check bool)
+    "hash agrees on numeric equality" true
+    (Value.hash (vi 2) = Value.hash (Value.Float 2.0))
+
+let test_equal_null () =
+  Alcotest.(check bool) "null = null" true (Value.equal vnull vnull);
+  Alcotest.(check bool) "null <> 0" false (Value.equal vnull (vi 0))
+
+let test_parse () =
+  Alcotest.(check value) "int" (vi 42) (Value.parse "42");
+  Alcotest.(check value) "negative int" (vi (-7)) (Value.parse "-7");
+  Alcotest.(check value) "float" (Value.Float 3.5) (Value.parse "3.5");
+  Alcotest.(check value) "bool" (Value.Bool true) (Value.parse "TRUE");
+  Alcotest.(check value)
+    "date" (Value.date 2024 2 29)
+    (Value.parse "2024-02-29");
+  Alcotest.(check value) "string" (vs "hello") (Value.parse "hello");
+  Alcotest.(check value) "empty is null" vnull (Value.parse "");
+  Alcotest.(check value)
+    "bad date is string" (vs "2023-02-29") (Value.parse "2023-02-29");
+  Alcotest.(check value)
+    "bad month is string" (vs "2023-13-01") (Value.parse "2023-13-01")
+
+let test_date_validation () =
+  Alcotest.check_raises "month 0" (Invalid_argument "Value.date: month out of range")
+    (fun () -> ignore (Value.date 2020 0 1));
+  Alcotest.check_raises "day 32" (Invalid_argument "Value.date: day out of range")
+    (fun () -> ignore (Value.date 2020 1 32));
+  Alcotest.check_raises "non-leap feb 29"
+    (Invalid_argument "Value.date: day out of range") (fun () ->
+      ignore (Value.date 2023 2 29));
+  (* century leap rules *)
+  ignore (Value.date 2000 2 29);
+  Alcotest.check_raises "1900 is not leap"
+    (Invalid_argument "Value.date: day out of range") (fun () ->
+      ignore (Value.date 1900 2 29))
+
+let test_printing () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string vnull);
+  Alcotest.(check string) "int" "17" (Value.to_string (vi 17));
+  Alcotest.(check string)
+    "date" "2021-03-04"
+    (Value.to_string (Value.date 2021 3 4));
+  Alcotest.(check string)
+    "sql string escaping" "'it''s'"
+    (Format.asprintf "%a" Value.pp_sql (vs "it's"))
+
+let suite =
+  [
+    Alcotest.test_case "compare within constructors" `Quick test_compare_within;
+    Alcotest.test_case "compare across constructors" `Quick test_compare_across;
+    Alcotest.test_case "numeric int/float mixing" `Quick test_numeric_mixing;
+    Alcotest.test_case "null equality" `Quick test_equal_null;
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "date validation" `Quick test_date_validation;
+    Alcotest.test_case "printing" `Quick test_printing;
+  ]
