@@ -27,6 +27,11 @@ let cfg =
   Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
     ~stabilize:false ()
 
+(* overhead comparisons need tighter estimates than the survey groups *)
+let cfg_precise =
+  Benchmark.cfg ~limit:2_000 ~quota:(Time.second 3.0) ~kde:None
+    ~stabilize:true ()
+
 let ols =
   Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 
@@ -38,7 +43,7 @@ let pretty_time ns =
 
 (* run a test group, print one line per element, and return the raw
    (name, ns) measurements for shape checks *)
-let run_group (test : Test.t) =
+let run_group ?(cfg = cfg) (test : Test.t) =
   let raw = Benchmark.all cfg [ instance ] test in
   let analyzed = Analyze.all ols instance raw in
   let rows =
@@ -528,20 +533,94 @@ let b9 () =
   in
   ignore (run_group (Test.make_grouped ~name:"b9" tests))
 
-let run_benches () =
-  b1 ();
-  b2 ();
-  b3 ();
-  b4 ();
-  b5 ();
-  b6 ();
-  b7 ();
-  b8 ();
-  b9 ()
+(* ------------------------------------------------------------------ *)
+(* B10: fault-tolerance overhead (wrapped runner, checkpoints, resume)  *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let b10 () =
+  section "B10: fault-tolerance overhead on the E5 scaling workload";
+  let g = Workload.Gen_schema.generate (pipeline_spec 8) in
+  let config =
+    {
+      Dbre.Pipeline.default_config with
+      Dbre.Pipeline.migrate_data = false;
+    }
+  in
+  let input = Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins in
+  let db = g.Workload.Gen_schema.db in
+  let ckpt_dir = "_bench_ckpt" in
+  rm_rf ckpt_dir;
+  (* pre-write a full checkpoint set for the resume measurement *)
+  ignore (Dbre.Pipeline.run ~config ~checkpoint_dir:ckpt_dir db input);
+  let tests =
+    [
+      Test.make ~name:"raw run (exception-raising wrapper)"
+        (Staged.stage (fun () ->
+             ignore (Dbre.Pipeline.run ~config db input)));
+      Test.make ~name:"run_checked (typed-error boundary)"
+        (Staged.stage (fun () ->
+             ignore (Dbre.Pipeline.run_checked ~config db input)));
+      Test.make ~name:"run_checked + per-stage checkpoints"
+        (Staged.stage (fun () ->
+             ignore
+               (Dbre.Pipeline.run_checked ~config ~checkpoint_dir:ckpt_dir db
+                  input)));
+      Test.make ~name:"run_checked resuming all stages from disk"
+        (Staged.stage (fun () ->
+             ignore
+               (Dbre.Pipeline.run_checked ~config ~resume_from:ckpt_dir db
+                  input)));
+    ]
+  in
+  let rows = run_group ~cfg:cfg_precise (Test.make_grouped ~name:"b10" tests) in
+  let find needle =
+    List.find_opt
+      (fun (name, _) ->
+        let nl = String.length needle and l = String.length name in
+        let rec go i =
+          i + nl <= l && (String.sub name i nl = needle || go (i + 1))
+        in
+        go 0)
+      rows
+  in
+  (match (find "raw run", find "typed-error") with
+  | Some (_, raw), Some (_, checked) when raw > 0.0 ->
+      Printf.printf
+        "  wrapper overhead: %+.2f%% (target: < 5%%)\n"
+        ((checked -. raw) /. raw *. 100.0)
+  | _ -> ());
+  (match (find "raw run", find "per-stage checkpoints") with
+  | Some (_, raw), Some (_, ckpt) when raw > 0.0 ->
+      Printf.printf "  checkpointing overhead: %+.2f%%\n"
+        ((ckpt -. raw) /. raw *. 100.0)
+  | _ -> ());
+  rm_rf ckpt_dir
+
+let all_benches =
+  [
+    ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
+    ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10);
+  ]
 
 let () =
   let args = Array.to_list Sys.argv in
   let experiments_only = List.mem "--experiments" args in
   let bench_only = List.mem "--bench" args in
-  if not bench_only then run_experiments ();
-  if not experiments_only then run_benches ()
+  (* bare group names (e.g. `main.exe b10`) select specific B-groups *)
+  let selected =
+    List.filter (fun (name, _) -> List.mem name args) all_benches
+  in
+  match selected with
+  | _ :: _ -> List.iter (fun (_, f) -> f ()) selected
+  | [] ->
+      if not bench_only then run_experiments ();
+      if not experiments_only then
+        List.iter (fun (_, f) -> f ()) all_benches

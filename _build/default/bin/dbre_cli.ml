@@ -22,19 +22,43 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
-let load_database ~ddl_path ~data_dir =
+let load_database ?(lenient = false) ~ddl_path ~data_dir () =
   let schema, _fks = Sqlx.Ddl.schema_of_script (read_file ddl_path) in
   let db = Database.create schema in
+  let reports = ref [] in
   List.iter
     (fun rel ->
       let name = rel.Relation.name in
       let csv_path = Filename.concat data_dir (name ^ ".csv") in
       if Sys.file_exists csv_path then begin
-        let table = Csv.load_table rel (read_file csv_path) in
+        let table =
+          if lenient then begin
+            let table, report =
+              Csv.load_table_lenient rel (read_file csv_path)
+            in
+            if not (Quarantine.is_empty report) then
+              reports := report :: !reports;
+            table
+          end
+          else Csv.load_table rel (read_file csv_path)
+        in
         Database.replace_table db table
       end)
     (Schema.relations schema);
-  db
+  (db, List.rev !reports)
+
+let print_quarantine reports =
+  List.iter (fun q -> Format.printf "%a@." Quarantine.pp q) reports
+
+(* strict loading raises [Error.Error] on dirty inputs; report it as a
+   clean CLI failure instead of cmdliner's "internal error" *)
+let handle_errors ?(hint = false) f =
+  try f ()
+  with Dbre.Error.Error e ->
+    Format.eprintf "dbre: %a@." Dbre.Error.pp e;
+    if hint then
+      Format.eprintf "hint: --lenient quarantines unparseable tuples@.";
+    1
 
 let load_programs dir =
   Sys.readdir dir |> Array.to_list |> List.sort String.compare
@@ -61,6 +85,28 @@ let parse_oracle = function
       | Some r -> Ok (Dbre.Oracle.threshold ~nei_ratio:r)
       | None -> Error (Printf.sprintf "bad threshold in %S" s))
   | s -> Error (Printf.sprintf "unknown oracle mode %S" s)
+
+let lenient_arg =
+  let doc =
+    "Quarantine unparseable or ill-typed tuples instead of aborting; \
+     dependency discovery runs on the surviving extension and the report \
+     lists the affected INDs/FDs."
+  in
+  Arg.(value & flag & info [ "lenient" ] ~doc)
+
+let checkpoint_arg =
+  let doc = "Serialize each completed stage's artifact into $(docv)." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the checkpoints in --checkpoint-dir, skipping \
+     already-completed stages."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
 
 let dot_arg =
   let doc = "Write the final EER schema as Graphviz DOT to $(docv)." in
@@ -145,22 +191,63 @@ let programs_arg =
   Arg.(required & opt (some dir) None & info [ "programs" ] ~docv:"DIR" ~doc)
 
 let analyze_cmd =
-  let run ddl data programs oracle dot markdown =
+  let run ddl data programs oracle lenient checkpoint_dir resume dot markdown =
     match parse_oracle oracle with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok oracle ->
-        let db = load_database ~ddl_path:ddl ~data_dir:data in
-        let config =
-          { Dbre.Pipeline.default_config with Dbre.Pipeline.oracle }
-        in
-        let result =
-          Dbre.Pipeline.run ~config db
-            (Dbre.Pipeline.Programs (load_programs programs))
-        in
-        report_result ?dot ?markdown result;
-        0
+        if resume && checkpoint_dir = None then begin
+          prerr_endline "--resume requires --checkpoint-dir";
+          1
+        end
+        else
+          handle_errors ~hint:(not lenient) @@ fun () ->
+          let db, quarantine =
+            load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
+          in
+          print_quarantine quarantine;
+          let config =
+            {
+              Dbre.Pipeline.default_config with
+              Dbre.Pipeline.oracle;
+              on_bad_tuple = (if lenient then `Quarantine else `Fail);
+            }
+          in
+          let resume_from = if resume then checkpoint_dir else None in
+          match
+            Dbre.Pipeline.run_checked ~config ~quarantine ?checkpoint_dir
+              ?resume_from db
+              (Dbre.Pipeline.Programs (load_programs programs))
+          with
+          | Ok result ->
+              report_result ?dot ?markdown result;
+              0
+          | Error p ->
+              Format.eprintf "pipeline failed: %a@." Dbre.Error.pp
+                p.Dbre.Pipeline.p_error;
+              let completed =
+                List.filter_map
+                  (fun (name, done_) -> if done_ then Some name else None)
+                  [
+                    ("extract", p.Dbre.Pipeline.p_equijoins <> None);
+                    ("ind-discovery", p.Dbre.Pipeline.p_ind_result <> None);
+                    ("lhs-discovery", p.Dbre.Pipeline.p_lhs_result <> None);
+                    ("rhs-discovery", p.Dbre.Pipeline.p_rhs_result <> None);
+                    ("restruct", p.Dbre.Pipeline.p_restruct_result <> None);
+                  ]
+              in
+              Format.eprintf "completed stages: %s@."
+                (if completed = [] then "(none)"
+                 else String.concat ", " completed);
+              (match checkpoint_dir with
+              | Some dir ->
+                  Format.eprintf
+                    "checkpoints for completed stages are in %s; rerun with \
+                     --resume to continue@."
+                    dir
+              | None -> ());
+              1
   in
   let doc =
     "Reverse-engineer a database given its DDL, extension and programs."
@@ -168,21 +255,25 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
-      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ dot_arg
-      $ markdown_arg)
+      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ lenient_arg
+      $ checkpoint_arg $ resume_arg $ dot_arg $ markdown_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inds                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let inds_cmd =
-  let run ddl data programs oracle =
+  let run ddl data programs oracle lenient =
     match parse_oracle oracle with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok oracle ->
-        let db = load_database ~ddl_path:ddl ~data_dir:data in
+        handle_errors ~hint:(not lenient) @@ fun () ->
+        let db, quarantine =
+          load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
+        in
+        print_quarantine quarantine;
         let joins =
           let extraction = Sqlx.Embedded.scan_files (load_programs programs) in
           Sqlx.Equijoin.dedupe
@@ -201,7 +292,8 @@ let inds_cmd =
   let doc = "Elicit inclusion dependencies only (stop after §6.1)." in
   Cmd.v
     (Cmd.info "inds" ~doc)
-    Term.(const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg)
+    Term.(
+      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ lenient_arg)
 
 (* ------------------------------------------------------------------ *)
 (* discover (exhaustive baselines)                                      *)
@@ -217,7 +309,8 @@ let discover_cmd =
     Arg.(value & opt int 2 & info [ "max-lhs" ] ~doc)
   in
   let run what ddl data max_lhs =
-    let db = load_database ~ddl_path:ddl ~data_dir:data in
+    handle_errors @@ fun () ->
+    let db, _ = load_database ~ddl_path:ddl ~data_dir:data () in
     (match what with
     | "fds" ->
         List.iter
@@ -273,16 +366,24 @@ let migrate_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run ddl data programs oracle out verify =
+  let run ddl data programs oracle lenient out verify =
     match parse_oracle oracle with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok oracle ->
-        let db = load_database ~ddl_path:ddl ~data_dir:data in
+        handle_errors ~hint:(not lenient) @@ fun () ->
+        let db, quarantine =
+          load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
+        in
+        print_quarantine quarantine;
         let original = Database.schema db in
         let config =
-          { Dbre.Pipeline.default_config with Dbre.Pipeline.oracle }
+          {
+            Dbre.Pipeline.default_config with
+            Dbre.Pipeline.oracle;
+            on_bad_tuple = (if lenient then `Quarantine else `Fail);
+          }
         in
         let result =
           Dbre.Pipeline.run ~config db
@@ -295,7 +396,7 @@ let migrate_cmd =
             Printf.printf "migration written to %s\n" path
         | None -> print_string sql);
         if verify then begin
-          let fresh = load_database ~ddl_path:ddl ~data_dir:data in
+          let fresh, _ = load_database ~lenient ~ddl_path:ddl ~data_dir:data () in
           Sqlx.Exec.exec_script fresh sql;
           let expected =
             Option.get
@@ -323,8 +424,8 @@ let migrate_cmd =
   Cmd.v
     (Cmd.info "migrate" ~doc)
     Term.(
-      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ out_arg
-      $ verify_arg)
+      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ lenient_arg
+      $ out_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                             *)

@@ -1,0 +1,1 @@
+lib/dbre/checkpoint.mli: Database Ind_discovery Lhs_discovery Relational Restruct Rhs_discovery Translate

@@ -1,0 +1,1 @@
+lib/dbre/error.ml: Relational

@@ -1,1 +1,1 @@
-lib/dbre/pipeline.mli: Database Deps Ind_discovery Lhs_discovery Oracle Relational Restruct Rhs_discovery Sqlx Translate
+lib/dbre/pipeline.mli: Database Deps Error Ind_discovery Lhs_discovery Oracle Quarantine Relation Relational Restruct Rhs_discovery Sqlx Stdlib Table Translate

@@ -1,0 +1,474 @@
+open Relational
+open Deps
+
+type stage = Ind | Lhs | Rhs | Restruct | Translate
+
+let stage_name = function
+  | Ind -> "ind-discovery"
+  | Lhs -> "lhs-discovery"
+  | Rhs -> "rhs-discovery"
+  | Restruct -> "restruct"
+  | Translate -> "translate"
+
+let stage_index = function
+  | Ind -> 1
+  | Lhs -> 2
+  | Rhs -> 3
+  | Restruct -> 4
+  | Translate -> 5
+
+let path ~dir stage =
+  Filename.concat dir
+    (Printf.sprintf "%d-%s.ckpt" (stage_index stage) (stage_name stage))
+
+let version = 1
+
+exception Corrupt of string
+
+let corrupt msg = raise (Corrupt msg)
+
+(* --- generic sexp helpers --- *)
+
+let atom = function Sexp.Atom a -> a | Sexp.List _ -> corrupt "expected atom"
+
+let int_atom s =
+  match int_of_string_opt (atom s) with
+  | Some i -> i
+  | None -> corrupt "expected integer atom"
+
+let assoc tag fields =
+  let hit = function
+    | Sexp.List (Sexp.Atom t :: _) -> String.equal t tag
+    | _ -> false
+  in
+  match List.find_opt hit fields with
+  | Some (Sexp.List (_ :: rest)) -> rest
+  | _ -> corrupt ("missing field " ^ tag)
+
+let tagged tag items = Sexp.List (Sexp.Atom tag :: items)
+
+(* --- leaf codecs --- *)
+
+let sexp_of_value = function
+  | Value.Null -> tagged "null" []
+  | Value.Bool b -> tagged "bool" [ Sexp.Atom (string_of_bool b) ]
+  | Value.Int i -> tagged "int" [ Sexp.Atom (string_of_int i) ]
+  | Value.Float f -> tagged "float" [ Sexp.Atom (Printf.sprintf "%h" f) ]
+  | Value.String s -> tagged "string" [ Sexp.Atom s ]
+  | Value.Date { Value.year; month; day } ->
+      tagged "date"
+        [
+          Sexp.Atom (string_of_int year);
+          Sexp.Atom (string_of_int month);
+          Sexp.Atom (string_of_int day);
+        ]
+
+let value_of_sexp = function
+  | Sexp.List [ Sexp.Atom "null" ] -> Value.Null
+  | Sexp.List [ Sexp.Atom "bool"; b ] -> (
+      match atom b with
+      | "true" -> Value.Bool true
+      | "false" -> Value.Bool false
+      | _ -> corrupt "bad bool")
+  | Sexp.List [ Sexp.Atom "int"; i ] -> Value.Int (int_atom i)
+  | Sexp.List [ Sexp.Atom "float"; f ] -> (
+      match float_of_string_opt (atom f) with
+      | Some f -> Value.Float f
+      | None -> corrupt "bad float")
+  | Sexp.List [ Sexp.Atom "string"; s ] -> Value.String (atom s)
+  | Sexp.List [ Sexp.Atom "date"; y; m; d ] ->
+      Value.date (int_atom y) (int_atom m) (int_atom d)
+  | _ -> corrupt "bad value"
+
+let domain_of_string = function
+  | "bool" -> Domain.Bool
+  | "int" -> Domain.Int
+  | "float" -> Domain.Float
+  | "string" -> Domain.String
+  | "date" -> Domain.Date
+  | "unknown" -> Domain.Unknown
+  | s -> corrupt ("bad domain " ^ s)
+
+let names l = List.map (fun a -> Sexp.Atom a) l
+let names_of_sexps l = List.map atom l
+
+let sexp_of_relation (r : Relation.t) =
+  tagged "relation"
+    [
+      tagged "name" [ Sexp.Atom r.Relation.name ];
+      tagged "attrs" (names r.Relation.attrs);
+      tagged "domains"
+        (List.map
+           (fun a -> Sexp.Atom (Domain.to_string (Relation.domain_of r a)))
+           r.Relation.attrs);
+      tagged "uniques"
+        (List.map (fun u -> Sexp.List (names u)) r.Relation.uniques);
+      tagged "not-nulls" (names r.Relation.not_nulls);
+    ]
+
+let relation_of_sexp = function
+  | Sexp.List (Sexp.Atom "relation" :: fields) ->
+      let name =
+        match assoc "name" fields with [ n ] -> atom n | _ -> corrupt "name"
+      in
+      let attrs = names_of_sexps (assoc "attrs" fields) in
+      let domains =
+        List.map2
+          (fun a d -> (a, domain_of_string (atom d)))
+          attrs (assoc "domains" fields)
+      in
+      let uniques =
+        List.map
+          (function
+            | Sexp.List u -> names_of_sexps u | Sexp.Atom _ -> corrupt "unique")
+          (assoc "uniques" fields)
+      in
+      let not_nulls = names_of_sexps (assoc "not-nulls" fields) in
+      Relation.make ~domains ~uniques ~not_nulls name attrs
+  | _ -> corrupt "bad relation"
+
+let sexp_of_table t =
+  tagged "table"
+    [
+      sexp_of_relation (Table.schema t);
+      tagged "rows"
+        (List.map
+           (fun row -> Sexp.List (List.map sexp_of_value row))
+           (Table.to_lists t));
+    ]
+
+let table_of_sexp = function
+  | Sexp.List [ Sexp.Atom "table"; rel; Sexp.List (Sexp.Atom "rows" :: rows) ]
+    ->
+      let t = Table.create (relation_of_sexp rel) in
+      List.iter
+        (function
+          | Sexp.List cells -> Table.insert t (List.map value_of_sexp cells)
+          | Sexp.Atom _ -> corrupt "bad row")
+        rows;
+      t
+  | _ -> corrupt "bad table"
+
+let sexp_of_attr (a : Attribute.t) =
+  tagged "attr" [ Sexp.Atom a.Attribute.rel; Sexp.List (names a.Attribute.attrs) ]
+
+let attr_of_sexp = function
+  | Sexp.List [ Sexp.Atom "attr"; rel; Sexp.List attrs ] ->
+      Attribute.make (atom rel) (names_of_sexps attrs)
+  | _ -> corrupt "bad attr"
+
+let sexp_of_join (j : Sqlx.Equijoin.t) =
+  tagged "join"
+    [
+      Sexp.Atom j.Sqlx.Equijoin.rel1;
+      Sexp.List (names j.Sqlx.Equijoin.attrs1);
+      Sexp.Atom j.Sqlx.Equijoin.rel2;
+      Sexp.List (names j.Sqlx.Equijoin.attrs2);
+    ]
+
+let join_of_sexp = function
+  | Sexp.List
+      [ Sexp.Atom "join"; r1; Sexp.List a1; r2; Sexp.List a2 ] ->
+      Sqlx.Equijoin.make
+        (atom r1, names_of_sexps a1)
+        (atom r2, names_of_sexps a2)
+  | _ -> corrupt "bad join"
+
+let sexp_of_ind i = Sexp.Atom (Ind.to_string i)
+let ind_of_sexp s = Ind.parse (atom s)
+let sexp_of_fd f = Sexp.Atom (Fd.to_string f)
+let fd_of_sexp s = Fd.parse (atom s)
+
+(* --- ind-discovery --- *)
+
+let sexp_of_counts (c : Ind.counts) =
+  tagged "counts"
+    [
+      Sexp.Atom (string_of_int c.Ind.n_left);
+      Sexp.Atom (string_of_int c.Ind.n_right);
+      Sexp.Atom (string_of_int c.Ind.n_join);
+    ]
+
+let counts_of_sexp = function
+  | Sexp.List [ Sexp.Atom "counts"; l; r; j ] ->
+      { Ind.n_left = int_atom l; n_right = int_atom r; n_join = int_atom j }
+  | _ -> corrupt "bad counts"
+
+let sexp_of_decision = function
+  | Oracle.Conceptualize name -> tagged "conceptualize" [ Sexp.Atom name ]
+  | Oracle.Force_left_in_right -> Sexp.Atom "force-left-in-right"
+  | Oracle.Force_right_in_left -> Sexp.Atom "force-right-in-left"
+  | Oracle.Ignore_nei -> Sexp.Atom "ignore"
+
+let decision_of_sexp = function
+  | Sexp.List [ Sexp.Atom "conceptualize"; n ] -> Oracle.Conceptualize (atom n)
+  | Sexp.Atom "force-left-in-right" -> Oracle.Force_left_in_right
+  | Sexp.Atom "force-right-in-left" -> Oracle.Force_right_in_left
+  | Sexp.Atom "ignore" -> Oracle.Ignore_nei
+  | _ -> corrupt "bad nei decision"
+
+let sexp_of_case = function
+  | Ind_discovery.Empty_intersection -> Sexp.Atom "empty"
+  | Ind_discovery.Included inds ->
+      tagged "included" (List.map sexp_of_ind inds)
+  | Ind_discovery.Nei d -> tagged "nei" [ sexp_of_decision d ]
+
+let case_of_sexp = function
+  | Sexp.Atom "empty" -> Ind_discovery.Empty_intersection
+  | Sexp.List (Sexp.Atom "included" :: inds) ->
+      Ind_discovery.Included (List.map ind_of_sexp inds)
+  | Sexp.List [ Sexp.Atom "nei"; d ] -> Ind_discovery.Nei (decision_of_sexp d)
+  | _ -> corrupt "bad case"
+
+let sexp_of_ind_step (s : Ind_discovery.step) =
+  tagged "step"
+    [
+      sexp_of_join s.Ind_discovery.join;
+      sexp_of_counts s.Ind_discovery.counts;
+      sexp_of_case s.Ind_discovery.case;
+    ]
+
+let ind_step_of_sexp = function
+  | Sexp.List [ Sexp.Atom "step"; j; c; k ] ->
+      {
+        Ind_discovery.join = join_of_sexp j;
+        counts = counts_of_sexp c;
+        case = case_of_sexp k;
+      }
+  | _ -> corrupt "bad ind step"
+
+(* --- rhs-discovery --- *)
+
+let sexp_of_outcome = function
+  | Rhs_discovery.Fd_elicited fd -> tagged "fd-elicited" [ sexp_of_fd fd ]
+  | Rhs_discovery.Became_hidden -> Sexp.Atom "became-hidden"
+  | Rhs_discovery.Dropped -> Sexp.Atom "dropped"
+  | Rhs_discovery.Already_hidden -> Sexp.Atom "already-hidden"
+
+let outcome_of_sexp = function
+  | Sexp.List [ Sexp.Atom "fd-elicited"; fd ] ->
+      Rhs_discovery.Fd_elicited (fd_of_sexp fd)
+  | Sexp.Atom "became-hidden" -> Rhs_discovery.Became_hidden
+  | Sexp.Atom "dropped" -> Rhs_discovery.Dropped
+  | Sexp.Atom "already-hidden" -> Rhs_discovery.Already_hidden
+  | _ -> corrupt "bad outcome"
+
+let sexp_of_rhs_step (s : Rhs_discovery.step) =
+  tagged "step"
+    [
+      sexp_of_attr s.Rhs_discovery.candidate;
+      Sexp.List (names s.Rhs_discovery.pruned_rhs);
+      sexp_of_outcome s.Rhs_discovery.outcome;
+    ]
+
+let rhs_step_of_sexp = function
+  | Sexp.List [ Sexp.Atom "step"; cand; Sexp.List pruned; out ] ->
+      {
+        Rhs_discovery.candidate = attr_of_sexp cand;
+        pruned_rhs = names_of_sexps pruned;
+        outcome = outcome_of_sexp out;
+      }
+  | _ -> corrupt "bad rhs step"
+
+(* --- file IO --- *)
+
+let rec ensure_dir dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_file ~dir stage payload =
+  ensure_dir dir;
+  let file = path ~dir stage in
+  let tmp = file ^ ".tmp" in
+  let doc =
+    tagged "checkpoint"
+      [
+        tagged "version" [ Sexp.Atom (string_of_int version) ];
+        tagged "stage" [ Sexp.Atom (stage_name stage) ];
+        payload;
+      ]
+  in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Sexp.to_string doc);
+      Out_channel.output_char oc '\n');
+  Sys.rename tmp file
+
+let read_payload ~dir stage =
+  let file = path ~dir stage in
+  if not (Sys.file_exists file) then None
+  else
+    let text =
+      try Some (In_channel.with_open_bin file In_channel.input_all)
+      with Sys_error _ -> None
+    in
+    match Option.map Sexp.of_string_opt text with
+    | Some
+        (Some
+           (Sexp.List
+              [
+                Sexp.Atom "checkpoint";
+                Sexp.List [ Sexp.Atom "version"; Sexp.Atom v ];
+                Sexp.List [ Sexp.Atom "stage"; Sexp.Atom s ];
+                payload;
+              ]))
+      when v = string_of_int version && s = stage_name stage ->
+        Some payload
+    | _ -> None
+
+let decode payload f = try Some (f payload) with _ -> None
+
+(* --- per-stage API --- *)
+
+let write_ind ~dir db (r : Ind_discovery.result) =
+  let table_of rel =
+    match Database.table_opt db rel.Relation.name with
+    | Some t -> t
+    | None -> Table.create rel
+  in
+  write_file ~dir Ind
+    (tagged "ind"
+       [
+         tagged "inds" (List.map sexp_of_ind r.Ind_discovery.inds);
+         tagged "new-relations"
+           (List.map
+              (fun rel -> sexp_of_table (table_of rel))
+              r.Ind_discovery.new_relations);
+         tagged "steps" (List.map sexp_of_ind_step r.Ind_discovery.steps);
+       ])
+
+let load_ind ~dir db =
+  match read_payload ~dir Ind with
+  | None -> None
+  | Some payload ->
+      decode payload (function
+        | Sexp.List (Sexp.Atom "ind" :: fields) ->
+            let inds = List.map ind_of_sexp (assoc "inds" fields) in
+            let tables = List.map table_of_sexp (assoc "new-relations" fields) in
+            let steps = List.map ind_step_of_sexp (assoc "steps" fields) in
+            (* conceptualized relations join the live database again, with
+               their checkpointed intersection extension *)
+            List.iter (Database.replace_table db) tables;
+            {
+              Ind_discovery.inds;
+              new_relations = List.map Table.schema tables;
+              steps;
+            }
+        | _ -> corrupt "bad ind payload")
+
+let write_lhs ~dir (r : Lhs_discovery.result) =
+  write_file ~dir Lhs
+    (tagged "lhs"
+       [
+         tagged "lhs" (List.map sexp_of_attr r.Lhs_discovery.lhs);
+         tagged "hidden" (List.map sexp_of_attr r.Lhs_discovery.hidden);
+       ])
+
+let load_lhs ~dir =
+  match read_payload ~dir Lhs with
+  | None -> None
+  | Some payload ->
+      decode payload (function
+        | Sexp.List (Sexp.Atom "lhs" :: fields) ->
+            {
+              Lhs_discovery.lhs = List.map attr_of_sexp (assoc "lhs" fields);
+              hidden = List.map attr_of_sexp (assoc "hidden" fields);
+            }
+        | _ -> corrupt "bad lhs payload")
+
+let write_rhs ~dir (r : Rhs_discovery.result) =
+  write_file ~dir Rhs
+    (tagged "rhs"
+       [
+         tagged "fds" (List.map sexp_of_fd r.Rhs_discovery.fds);
+         tagged "hidden" (List.map sexp_of_attr r.Rhs_discovery.hidden);
+         tagged "steps" (List.map sexp_of_rhs_step r.Rhs_discovery.steps);
+       ])
+
+let load_rhs ~dir =
+  match read_payload ~dir Rhs with
+  | None -> None
+  | Some payload ->
+      decode payload (function
+        | Sexp.List (Sexp.Atom "rhs" :: fields) ->
+            {
+              Rhs_discovery.fds = List.map fd_of_sexp (assoc "fds" fields);
+              hidden = List.map attr_of_sexp (assoc "hidden" fields);
+              steps = List.map rhs_step_of_sexp (assoc "steps" fields);
+            }
+        | _ -> corrupt "bad rhs payload")
+
+let write_restruct ~dir (r : Restruct.result) =
+  let database =
+    match r.Restruct.database with
+    | None -> tagged "database" [ Sexp.Atom "none" ]
+    | Some db ->
+        tagged "database"
+          (List.map
+             (fun rel ->
+               sexp_of_table (Database.table db rel.Relation.name))
+             (Schema.relations (Database.schema db)))
+  in
+  write_file ~dir Restruct
+    (tagged "restruct"
+       [
+         tagged "schema"
+           (List.map sexp_of_relation (Schema.relations r.Restruct.schema));
+         tagged "inds" (List.map sexp_of_ind r.Restruct.inds);
+         tagged "ric" (List.map sexp_of_ind r.Restruct.ric);
+         tagged "renamings"
+           (List.map
+              (fun (a, name) -> Sexp.List [ sexp_of_attr a; Sexp.Atom name ])
+              r.Restruct.renamings);
+         database;
+       ])
+
+let load_restruct ~dir =
+  match read_payload ~dir Restruct with
+  | None -> None
+  | Some payload ->
+      decode payload (function
+        | Sexp.List (Sexp.Atom "restruct" :: fields) ->
+            let schema =
+              Schema.of_relations
+                (List.map relation_of_sexp (assoc "schema" fields))
+            in
+            let inds = List.map ind_of_sexp (assoc "inds" fields) in
+            let ric = List.map ind_of_sexp (assoc "ric" fields) in
+            let renamings =
+              List.map
+                (function
+                  | Sexp.List [ a; n ] -> (attr_of_sexp a, atom n)
+                  | _ -> corrupt "bad renaming")
+                (assoc "renamings" fields)
+            in
+            let database =
+              match assoc "database" fields with
+              | [ Sexp.Atom "none" ] -> None
+              | tables ->
+                  let db = Database.create Schema.empty in
+                  List.iter
+                    (fun t -> Database.replace_table db (table_of_sexp t))
+                    tables;
+                  Some db
+            in
+            { Restruct.schema; inds; ric; renamings; database }
+        | _ -> corrupt "bad restruct payload")
+
+let write_translate ~dir (r : Translate.result) =
+  (* The EER graph has no deserializer; this checkpoint is a completion
+     marker carrying a human-readable rendering. Resume recomputes
+     Translate from the restruct checkpoint (cheap and deterministic). *)
+  write_file ~dir Translate
+    (tagged "translate"
+       [
+         tagged "entities"
+           (List.map
+              (fun (r, e) -> Sexp.List [ Sexp.Atom r; Sexp.Atom e ])
+              r.Translate.entity_of_relation);
+         tagged "eer" [ Sexp.Atom (Er.Text_render.to_string r.Translate.eer) ];
+       ])
+
+let translate_done ~dir = read_payload ~dir Translate <> None

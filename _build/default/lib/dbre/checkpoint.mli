@@ -1,0 +1,44 @@
+(** Per-stage pipeline checkpoints.
+
+    Each completed stage serializes its output artifact to
+    [<dir>/<n>-<stage>.ckpt] as a single s-expression wrapped in
+    [(checkpoint (version 1) (stage ...) <payload>)]. Writes are atomic
+    (tmp file + rename); loads return [None] on a missing, corrupt or
+    version-mismatched file, so a resuming run silently recomputes the
+    stage instead of failing.
+
+    The Translate checkpoint is a completion {e marker} only (the EER
+    graph has no deserializer): it stores the rendered schema for human
+    inspection, and resume always recomputes Translate from the
+    Restruct artifact — acceptable because Translate is deterministic
+    and cheap. *)
+
+open Relational
+
+type stage = Ind | Lhs | Rhs | Restruct | Translate
+
+val stage_name : stage -> string
+val path : dir:string -> stage -> string
+
+val ensure_dir : string -> unit
+(** Recursive [mkdir -p]; existing directories are fine. *)
+
+val write_ind : dir:string -> Database.t -> Ind_discovery.result -> unit
+(** Conceptualized relations are stored {e with} their intersection
+    extensions (read from [db]), so a resuming run can re-materialize
+    them. Raises [Sys_error] on IO failure. *)
+
+val load_ind : dir:string -> Database.t -> Ind_discovery.result option
+(** On success, re-applies the conceptualized relations (schema and
+    extension) to [db] via [Database.replace_table]. *)
+
+val write_lhs : dir:string -> Lhs_discovery.result -> unit
+val load_lhs : dir:string -> Lhs_discovery.result option
+val write_rhs : dir:string -> Rhs_discovery.result -> unit
+val load_rhs : dir:string -> Rhs_discovery.result option
+val write_restruct : dir:string -> Restruct.result -> unit
+val load_restruct : dir:string -> Restruct.result option
+
+val write_translate : dir:string -> Translate.result -> unit
+val translate_done : dir:string -> bool
+(** Whether a valid Translate marker exists. *)

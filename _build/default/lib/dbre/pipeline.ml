@@ -10,10 +10,16 @@ type config = {
   oracle : Oracle.t;
   fd_engine : [ `Naive | `Partition ];
   migrate_data : bool;
+  on_bad_tuple : [ `Fail | `Quarantine ];
 }
 
 let default_config =
-  { oracle = Oracle.automatic; fd_engine = `Naive; migrate_data = true }
+  {
+    oracle = Oracle.automatic;
+    fd_engine = `Naive;
+    migrate_data = true;
+    on_bad_tuple = `Fail;
+  }
 
 type result = {
   equijoins : Sqlx.Equijoin.t list;
@@ -23,7 +29,26 @@ type result = {
   restruct_result : Restruct.result;
   translate_result : Translate.result;
   events : Oracle.event list;
+  quarantine : Quarantine.report list;
 }
+
+type partial = {
+  p_equijoins : Sqlx.Equijoin.t list option;
+  p_ind_result : Ind_discovery.result option;
+  p_lhs_result : Lhs_discovery.result option;
+  p_rhs_result : Rhs_discovery.result option;
+  p_restruct_result : Restruct.result option;
+  p_events : Oracle.event list;
+  p_quarantine : Quarantine.report list;
+  p_error : Error.t;
+}
+
+let load_extension config rel csv =
+  match config.on_bad_tuple with
+  | `Fail -> (Csv.load_table rel csv, None)
+  | `Quarantine ->
+      let table, report = Csv.load_table_lenient rel csv in
+      (table, if Quarantine.is_empty report then None else Some report)
 
 let extract_equijoins db = function
   | Equijoins q -> q
@@ -39,47 +64,173 @@ let extract_equijoins db = function
            (Sqlx.Equijoin.of_script (Database.schema db))
            scripts)
 
-let run ?(config = default_config) db input =
+(* Run one stage under the typed-error boundary: any escaping exception
+   becomes a structured [Error.t] attributed to the stage. *)
+let wrap stage f =
+  match f () with
+  | v -> Ok v
+  | exception Sqlx.Parser.Error msg ->
+      Stdlib.Error (Error.make ~stage Error.Sql_parse msg)
+  | exception exn -> Stdlib.Error (Error.of_exn stage exn)
+
+let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
+    ?resume_from db input =
   let oracle, events = Oracle.traced config.oracle in
-  let equijoins = extract_equijoins db input in
-  let ind_result = Ind_discovery.run oracle db equijoins in
-  let schema = Database.schema db in
-  let s_names =
-    List.map
-      (fun r -> r.Relation.name)
-      ind_result.Ind_discovery.new_relations
+  let save write =
+    match checkpoint_dir with
+    | None -> ()
+    | Some dir -> ( try write ~dir with Sys_error _ -> ())
   in
-  let lhs_result =
-    Lhs_discovery.run ~schema ~s_names ind_result.Ind_discovery.inds
+  let restore load =
+    match resume_from with None -> None | Some dir -> load ~dir
   in
-  let rhs_result =
-    Rhs_discovery.run ~engine:config.fd_engine oracle db
-      ~lhs:lhs_result.Lhs_discovery.lhs
-      ~hidden:lhs_result.Lhs_discovery.hidden
+  (* resume when a valid checkpoint exists, otherwise compute (under the
+     error boundary) and checkpoint the fresh artifact best-effort *)
+  let stage_run name restore_stage write_stage f =
+    match restore restore_stage with
+    | Some v -> Ok v
+    | None -> (
+        match wrap name f with
+        | Ok v ->
+            save (fun ~dir -> write_stage ~dir v);
+            Ok v
+        | Stdlib.Error _ as e -> e)
   in
-  let restruct_result =
-    Restruct.run oracle
-      ?db:(if config.migrate_data then Some db else None)
-      ~schema:(Database.schema db)
-      ~fds:rhs_result.Rhs_discovery.fds
-      ~hidden:rhs_result.Rhs_discovery.hidden
-      ~inds:ind_result.Ind_discovery.inds ()
+  let no_ckpt ~dir:_ = None in
+  let no_write ~dir:_ _ = () in
+  let partial ?equijoins ?ind ?lhs ?rhs ?restruct error =
+    {
+      p_equijoins = equijoins;
+      p_ind_result = ind;
+      p_lhs_result = lhs;
+      p_rhs_result = rhs;
+      p_restruct_result = restruct;
+      p_events = events ();
+      p_quarantine = quarantine;
+      p_error = error;
+    }
   in
-  let translate_result =
-    Translate.run
-      ?db:restruct_result.Restruct.database
-      ~schema:restruct_result.Restruct.schema
-      restruct_result.Restruct.ric
-  in
-  {
-    equijoins;
-    ind_result;
-    lhs_result;
-    rhs_result;
-    restruct_result;
-    translate_result;
-    events = events ();
-  }
+  match
+    stage_run Error.Extract no_ckpt no_write (fun () ->
+        extract_equijoins db input)
+  with
+  | Stdlib.Error e -> Stdlib.Error (partial e)
+  | Ok equijoins -> (
+      match
+        stage_run Error.Ind_discovery
+          (fun ~dir -> Checkpoint.load_ind ~dir db)
+          (fun ~dir r -> Checkpoint.write_ind ~dir db r)
+          (fun () -> Ind_discovery.run oracle db equijoins)
+      with
+      | Stdlib.Error e -> Stdlib.Error (partial ~equijoins e)
+      | Ok ind_result -> (
+          let schema = Database.schema db in
+          let s_names =
+            List.map
+              (fun r -> r.Relation.name)
+              ind_result.Ind_discovery.new_relations
+          in
+          match
+            stage_run Error.Lhs_discovery Checkpoint.load_lhs
+              Checkpoint.write_lhs (fun () ->
+                Lhs_discovery.run ~schema ~s_names
+                  ind_result.Ind_discovery.inds)
+          with
+          | Stdlib.Error e ->
+              Stdlib.Error (partial ~equijoins ~ind:ind_result e)
+          | Ok lhs_result -> (
+              match
+                stage_run Error.Rhs_discovery Checkpoint.load_rhs
+                  Checkpoint.write_rhs (fun () ->
+                    Rhs_discovery.run ~engine:config.fd_engine oracle db
+                      ~lhs:lhs_result.Lhs_discovery.lhs
+                      ~hidden:lhs_result.Lhs_discovery.hidden)
+              with
+              | Stdlib.Error e ->
+                  Stdlib.Error
+                    (partial ~equijoins ~ind:ind_result ~lhs:lhs_result e)
+              | Ok rhs_result -> (
+                  match
+                    stage_run Error.Restruct Checkpoint.load_restruct
+                      Checkpoint.write_restruct (fun () ->
+                        Restruct.run oracle
+                          ?db:(if config.migrate_data then Some db else None)
+                          ~schema:(Database.schema db)
+                          ~fds:rhs_result.Rhs_discovery.fds
+                          ~hidden:rhs_result.Rhs_discovery.hidden
+                          ~inds:ind_result.Ind_discovery.inds ())
+                  with
+                  | Stdlib.Error e ->
+                      Stdlib.Error
+                        (partial ~equijoins ~ind:ind_result ~lhs:lhs_result
+                           ~rhs:rhs_result e)
+                  | Ok restruct_result -> (
+                      (* Translate is deterministic and cheap: always
+                         recomputed, even on resume (its checkpoint is a
+                         completion marker, not a loadable artifact) *)
+                      match
+                        stage_run Error.Translate no_ckpt
+                          Checkpoint.write_translate (fun () ->
+                            Translate.run
+                              ?db:restruct_result.Restruct.database
+                              ~schema:restruct_result.Restruct.schema
+                              restruct_result.Restruct.ric)
+                      with
+                      | Stdlib.Error e ->
+                          Stdlib.Error
+                            (partial ~equijoins ~ind:ind_result
+                               ~lhs:lhs_result ~rhs:rhs_result
+                               ~restruct:restruct_result e)
+                      | Ok translate_result ->
+                          Ok
+                            {
+                              equijoins;
+                              ind_result;
+                              lhs_result;
+                              rhs_result;
+                              restruct_result;
+                              translate_result;
+                              events = events ();
+                              quarantine;
+                            })))))
+
+let run ?config ?quarantine ?checkpoint_dir ?resume_from db input =
+  match run_checked ?config ?quarantine ?checkpoint_dir ?resume_from db input with
+  | Ok r -> r
+  | Stdlib.Error p -> raise (Error.Error p.p_error)
+
+type degradation = {
+  deg_relation : string;
+  deg_quarantined : int;
+  deg_inds : Ind.t list;
+  deg_fds : Fd.t list;
+}
+
+let degradations result =
+  List.filter_map
+    (fun (q : Quarantine.report) ->
+      if Quarantine.is_empty q then None
+      else
+        let name = q.Quarantine.relation in
+        let deg_inds =
+          List.filter
+            (fun (i : Ind.t) ->
+              String.equal i.Ind.lhs_rel name || String.equal i.Ind.rhs_rel name)
+            result.ind_result.Ind_discovery.inds
+        in
+        let deg_fds =
+          List.filter
+            (fun (f : Fd.t) -> String.equal f.Fd.rel name)
+            result.rhs_result.Rhs_discovery.fds
+        in
+        Some
+          {
+            deg_relation = name;
+            deg_quarantined = Quarantine.count q;
+            deg_inds;
+            deg_fds;
+          })
+    result.quarantine
 
 let nf_report result =
   let schema = result.restruct_result.Restruct.schema in

@@ -4,7 +4,13 @@
     dictionary constraints ([K], [N]), and the application knowledge —
     either an already-computed equi-join set [Q] or raw program sources
     to scan. Output: every intermediate artifact of §6–§7 plus the final
-    EER schema and the complete decision trace. *)
+    EER schema and the complete decision trace.
+
+    The driver is fault-tolerant: {!run_checked} wraps every stage in a
+    typed-error boundary and returns a {!partial} result carrying the
+    artifacts of all stages completed before the failure; {!run} is the
+    historical exception-raising wrapper. Stage artifacts can be
+    checkpointed to disk and resumed (see {!Checkpoint}). *)
 
 open Relational
 
@@ -20,10 +26,13 @@ type config = {
   oracle : Oracle.t;
   fd_engine : [ `Naive | `Partition ];
   migrate_data : bool;  (** populate the restructured database *)
+  on_bad_tuple : [ `Fail | `Quarantine ];
+      (** what {!load_extension} does with unparseable tuples *)
 }
 
 val default_config : config
-(** {!Oracle.automatic}, naive FD checks, data migration on. *)
+(** {!Oracle.automatic}, naive FD checks, data migration on, strict
+    ([`Fail]) tuple handling. *)
 
 type result = {
   equijoins : Sqlx.Equijoin.t list;  (** the [Q] actually analyzed *)
@@ -33,14 +42,83 @@ type result = {
   restruct_result : Restruct.result;
   translate_result : Translate.result;
   events : Oracle.event list;  (** expert decisions, in order *)
+  quarantine : Quarantine.report list;
+      (** per-table reports from lenient loading (threaded through
+          [?quarantine]); empty for strict runs *)
 }
 
-val run : ?config:config -> Database.t -> input -> result
+type partial = {
+  p_equijoins : Sqlx.Equijoin.t list option;
+  p_ind_result : Ind_discovery.result option;
+  p_lhs_result : Lhs_discovery.result option;
+  p_rhs_result : Rhs_discovery.result option;
+  p_restruct_result : Restruct.result option;
+  p_events : Oracle.event list;
+  p_quarantine : Quarantine.report list;
+  p_error : Error.t;
+}
+(** Everything completed before a stage failed, plus the failure. The
+    artifact options form a prefix: if [p_rhs_result] is [Some] then so
+    are the earlier ones. *)
+
+val run_checked :
+  ?config:config ->
+  ?quarantine:Quarantine.report list ->
+  ?checkpoint_dir:string ->
+  ?resume_from:string ->
+  Database.t ->
+  input ->
+  (result, partial) Stdlib.result
 (** Runs IND-Discovery, LHS-Discovery, RHS-Discovery, Restruct and
-    Translate in sequence. The input database is mutated only by
-    NEI conceptualization (new relations with their intersection
-    extension), matching the paper's statement that [S] extends the
-    schema in place. *)
+    Translate in sequence, each under a typed-error boundary: a stage
+    failure yields [Error partial] instead of raising. The input
+    database is mutated only by NEI conceptualization (new relations
+    with their intersection extension), matching the paper's statement
+    that [S] extends the schema in place.
+
+    [?quarantine] threads the reports produced while loading the
+    extension (see {!load_extension}) into the result, so reporting can
+    annotate which dependencies were tested against a reduced extension.
+
+    [?checkpoint_dir] serializes each completed stage's artifact there
+    (atomically, best-effort: IO errors never fail the run).
+    [?resume_from] loads valid stage checkpoints from a directory
+    instead of recomputing; corrupt or missing checkpoints are silently
+    recomputed. Stages restored from checkpoints produce no oracle
+    [events]. Translate is always recomputed (cheap, deterministic). *)
+
+val run :
+  ?config:config ->
+  ?quarantine:Quarantine.report list ->
+  ?checkpoint_dir:string ->
+  ?resume_from:string ->
+  Database.t ->
+  input ->
+  result
+(** Thin wrapper over {!run_checked} keeping the historical
+    exception-raising contract: raises [Error.Error] (the structured
+    [p_error]) on a stage failure. *)
+
+val load_extension :
+  config -> Relation.t -> string -> Table.t * Quarantine.report option
+(** Load one relation's CSV extension honoring [config.on_bad_tuple]:
+    [`Fail] uses {!Csv.load_table} (raises on bad input), [`Quarantine]
+    uses {!Csv.load_table_lenient} and returns the report when any
+    tuple was quarantined. *)
+
+type degradation = {
+  deg_relation : string;
+  deg_quarantined : int;  (** quarantine entries for this relation *)
+  deg_inds : Deps.Ind.t list;
+      (** elicited INDs with a side on this relation — tested against a
+          reduced extension *)
+  deg_fds : Deps.Fd.t list;  (** elicited FDs over this relation *)
+}
+
+val degradations : result -> degradation list
+(** For every quarantined table, the dependencies whose evidence came
+    from the reduced extension — the confidence caveat the report
+    surfaces. *)
 
 val nf_report : result -> (string * Deps.Normal_forms.nf) list
 (** Normal form of every relation of the restructured schema, computed

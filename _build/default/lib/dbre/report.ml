@@ -209,6 +209,39 @@ let markdown ?(title = "Database reverse-engineering report") (r : Pipeline.resu
   out "";
   out "</details>";
   out "";
+  (* quarantine / degradation *)
+  if r.Pipeline.quarantine <> [] then begin
+    out "## Quarantined tuples";
+    out "";
+    out "| relation | rows in input | kept | quarantined |";
+    out "|---|---|---|---|";
+    List.iter
+      (fun (q : Relational.Quarantine.report) ->
+        out "| %s | %d | %d | %d |" q.Relational.Quarantine.relation
+          q.Relational.Quarantine.total_rows q.Relational.Quarantine.kept
+          (Relational.Quarantine.count q))
+      r.Pipeline.quarantine;
+    out "";
+    (match Pipeline.degradations r with
+    | [] -> ()
+    | degs ->
+        out "Dependencies below were tested against a **reduced extension** \
+             (quarantined tuples excluded); their evidence is weaker than on \
+             a clean load.";
+        out "";
+        List.iter
+          (fun (d : Pipeline.degradation) ->
+            out "- `%s` (%d tuples quarantined):" d.Pipeline.deg_relation
+              d.Pipeline.deg_quarantined;
+            List.iter
+              (fun i -> out "  - IND `%s`" (Ind.to_string i))
+              d.Pipeline.deg_inds;
+            List.iter
+              (fun f -> out "  - FD `%s`" (Fd.to_string f))
+              d.Pipeline.deg_fds)
+          degs;
+        out "")
+  end;
   (* expert log *)
   out "## Expert decisions";
   out "";
@@ -242,6 +275,26 @@ let pp_result ppf (r : Pipeline.result) =
   pp_inds ppf r.Pipeline.restruct_result.Restruct.ric;
   section "EER schema";
   Er.Text_render.pp ppf r.Pipeline.translate_result.Translate.eer;
+  if r.Pipeline.quarantine <> [] then begin
+    section "Quarantined tuples";
+    pp_lines Relational.Quarantine.pp ppf r.Pipeline.quarantine;
+    match Pipeline.degradations r with
+    | [] -> ()
+    | degs ->
+        section "Dependencies tested on a reduced extension";
+        pp_lines
+          (fun ppf (d : Pipeline.degradation) ->
+            Format.fprintf ppf "@[<v 2>%s (%d quarantined):" d.Pipeline.deg_relation
+              d.Pipeline.deg_quarantined;
+            List.iter
+              (fun i -> Format.fprintf ppf "@,IND %s" (Ind.to_string i))
+              d.Pipeline.deg_inds;
+            List.iter
+              (fun f -> Format.fprintf ppf "@,FD %s" (Fd.to_string f))
+              d.Pipeline.deg_fds;
+            Format.fprintf ppf "@]")
+          ppf degs
+  end;
   section "Expert decisions";
   pp_events ppf r.Pipeline.events;
   Format.fprintf ppf "@]"

@@ -1,1 +1,1 @@
-lib/relational/algebra.ml: Database Format Hashtbl List Printf Relation String Table Value
+lib/relational/algebra.ml: Database Error Format Hashtbl List Printf Relation String Table Value

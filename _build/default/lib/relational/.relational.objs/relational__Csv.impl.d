@@ -1,1 +1,1 @@
-lib/relational/csv.ml: Buffer Domain List Printf Relation String Table Value
+lib/relational/csv.ml: Buffer Domain Error List Printf Quarantine Relation String Table Value

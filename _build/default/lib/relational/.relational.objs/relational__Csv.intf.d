@@ -1,1 +1,1 @@
-lib/relational/csv.mli: Relation Table
+lib/relational/csv.mli: Quarantine Relation Table

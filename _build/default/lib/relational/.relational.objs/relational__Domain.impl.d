@@ -1,1 +1,1 @@
-lib/relational/domain.ml: Format List Printf String Value
+lib/relational/domain.ml: Error Format List Option String Value

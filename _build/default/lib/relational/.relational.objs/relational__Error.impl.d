@@ -1,0 +1,1 @@
+lib/relational/error.ml: Format Option Printexc Printf

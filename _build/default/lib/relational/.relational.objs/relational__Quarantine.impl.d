@@ -1,0 +1,1 @@
+lib/relational/quarantine.ml: Error Format List

@@ -1,0 +1,1 @@
+lib/relational/quarantine.mli: Error Format

@@ -1,16 +1,42 @@
-let parse text =
+type syntax_error = {
+  se_row : int;
+  se_line : int;
+  se_col : int;
+  se_message : string;
+}
+
+(* Position-tracking scanner shared by the strict and lenient entry
+   points. Rows come back as [(row_index, start_line, fields)]; the only
+   possible syntax error in this grammar is a quote left open at EOF, in
+   which case the torn row is dropped and reported. *)
+let scan text =
   let n = String.length text in
   let rows = ref [] in
   let fields = ref [] in
   let buf = Buffer.create 32 in
+  let errors = ref [] in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let row_line = ref 1 in
+  let row_index = ref 0 in
   let push_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
   in
   let push_row () =
     push_field ();
-    rows := List.rev !fields :: !rows;
+    rows := (!row_index, !row_line, List.rev !fields) :: !rows;
+    incr row_index;
     fields := []
+  in
+  let newline i =
+    incr line;
+    line_start := i
+  in
+  let end_row i =
+    push_row ();
+    newline i;
+    row_line := !line
   in
   let rec plain i =
     if i >= n then finish ()
@@ -20,19 +46,20 @@ let parse text =
           push_field ();
           plain (i + 1)
       | '\n' ->
-          push_row ();
+          end_row (i + 1);
           plain (i + 1)
       | '\r' ->
           if i + 1 < n && text.[i + 1] = '\n' then begin
-            push_row ();
+            end_row (i + 2);
             plain (i + 2)
           end
           else begin
-            push_row ();
+            end_row (i + 1);
             plain (i + 1)
           end
       | '"' ->
-          if Buffer.length buf = 0 then quoted (i + 1)
+          if Buffer.length buf = 0 then
+            quoted ~qline:!line ~qcol:(i - !line_start + 1) (i + 1)
           else begin
             Buffer.add_char buf '"';
             plain (i + 1)
@@ -40,24 +67,56 @@ let parse text =
       | c ->
           Buffer.add_char buf c;
           plain (i + 1)
-  and quoted i =
-    if i >= n then failwith "Csv.parse: unterminated quoted field"
+  and quoted ~qline ~qcol i =
+    if i >= n then begin
+      errors :=
+        {
+          se_row = !row_index;
+          se_line = qline;
+          se_col = qcol;
+          se_message =
+            Printf.sprintf
+              "unterminated quoted field (opened at line %d, column %d)" qline
+              qcol;
+        }
+        :: !errors;
+      Buffer.clear buf;
+      fields := [];
+      finish ()
+    end
     else
       match text.[i] with
       | '"' ->
           if i + 1 < n && text.[i + 1] = '"' then begin
             Buffer.add_char buf '"';
-            quoted (i + 2)
+            quoted ~qline ~qcol (i + 2)
           end
           else plain (i + 1)
+      | '\n' ->
+          Buffer.add_char buf '\n';
+          newline (i + 1);
+          quoted ~qline ~qcol (i + 1)
       | c ->
           Buffer.add_char buf c;
-          quoted (i + 1)
+          quoted ~qline ~qcol (i + 1)
   and finish () =
     if Buffer.length buf > 0 || !fields <> [] then push_row ();
-    List.rev !rows
+    (List.rev !rows, List.rev !errors)
   in
   plain 0
+
+let raise_syntax ?relation (e : syntax_error) =
+  Error.raise_ ?relation ~severity:Error.Recoverable Error.Csv_syntax
+    ("Csv.parse: " ^ e.se_message)
+
+let parse text =
+  match scan text with
+  | rows, [] -> List.map (fun (_, _, fields) -> fields) rows
+  | _, e :: _ -> raise_syntax e
+
+let parse_lenient text =
+  let rows, errors = scan text in
+  (List.map (fun (_, _, fields) -> fields) rows, errors)
 
 let needs_quote s =
   String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
@@ -84,51 +143,165 @@ let render rows =
     rows;
   Buffer.contents buf
 
+let parse_cell rel attr raw =
+  match Relation.domain_of rel attr with
+  | Domain.Unknown -> Some (if raw = "" then Value.Null else Value.parse raw)
+  | d -> Domain.parse_opt d raw
+
+(* Build a tuple in declared attribute order from [column -> raw cell]
+   bindings; absent columns become NULL (the strict loader rejects them
+   before getting here). Returns the first ill-typed cell as an error. *)
+let tuple_of_bindings rel ~row ~line bindings =
+  let bad = ref None in
+  let tuple =
+    List.map
+      (fun a ->
+        match List.assoc_opt a bindings with
+        | None -> Value.Null
+        | Some raw -> (
+            match parse_cell rel a raw with
+            | Some v -> v
+            | None ->
+                if !bad = None then
+                  bad :=
+                    Some
+                      (Error.make ~relation:rel.Relation.name ~attribute:a
+                         ~severity:Error.Recoverable Error.Type_mismatch
+                         (Printf.sprintf "row %d (line %d): %S is not a %s" row
+                            line raw
+                            (Domain.to_string (Relation.domain_of rel a))));
+                Value.Null))
+      rel.Relation.attrs
+  in
+  match !bad with None -> Ok tuple | Some e -> Error e
+
+let data_row_index ~header idx = if header then idx - 1 else idx
+
 let load_table ?(header = true) rel csv =
-  let rows = parse csv in
+  let name = rel.Relation.name in
+  let rows, syntax_errors = scan csv in
+  (match syntax_errors with
+  | [] -> ()
+  | e :: _ -> raise_syntax ~relation:name e);
   let table = Table.create rel in
   let attrs = rel.Relation.attrs in
   let order, data_rows =
     if header then
       match rows with
       | [] -> (attrs, [])
-      | hdr :: rest ->
+      | (_, _, hdr) :: rest ->
           List.iter
             (fun h ->
               if not (Relation.has_attr rel h) then
-                failwith
-                  (Printf.sprintf "Csv.load_table(%s): unknown column %S"
-                     rel.Relation.name h))
+                Error.raisef ~relation:name ~attribute:h
+                  ~severity:Error.Recoverable Error.Unknown_column
+                  "Csv.load_table(%s): unknown column %S" name h)
             hdr;
+          List.iter
+            (fun a ->
+              if not (List.mem a hdr) then
+                Error.raisef ~relation:name ~attribute:a
+                  ~severity:Error.Recoverable Error.Missing_column
+                  "Csv.load_table(%s): missing column %S" name a)
+            attrs;
           (hdr, rest)
     else (attrs, rows)
   in
-  let parse_cell attr raw =
-    match Relation.domain_of rel attr with
-    | Domain.Unknown -> if raw = "" then Value.Null else Value.parse raw
-    | d -> Domain.parse d raw
-  in
+  let width = List.length order in
   List.iter
-    (fun row ->
-      if List.length row <> List.length order then
-        failwith
-          (Printf.sprintf "Csv.load_table(%s): row width %d, expected %d"
-             rel.Relation.name (List.length row) (List.length order));
-      let bindings = List.combine order (List.map2 parse_cell order row) in
-      let tuple =
-        List.map
-          (fun a ->
-            match List.assoc_opt a bindings with
-            | Some v -> v
-            | None ->
-                failwith
-                  (Printf.sprintf "Csv.load_table(%s): missing column %S"
-                     rel.Relation.name a))
-          attrs
-      in
-      Table.insert table tuple)
+    (fun (idx, line, row) ->
+      let ridx = data_row_index ~header idx in
+      if List.length row <> width then
+        Error.raisef ~relation:name ~severity:Error.Recoverable Error.Csv_arity
+          "Csv.load_table(%s): row %d (line %d): width %d, expected %d" name
+          ridx line (List.length row) width;
+      match tuple_of_bindings rel ~row:ridx ~line (List.combine order row) with
+      | Ok tuple -> Table.insert table tuple
+      | Error e -> raise (Error.Error e))
     data_rows;
   table
+
+let load_table_lenient ?(header = true) rel csv =
+  let name = rel.Relation.name in
+  let rows, syntax_errors = scan csv in
+  let table = Table.create rel in
+  let attrs = rel.Relation.attrs in
+  let entries = ref [] in
+  let add ?row error = entries := { Quarantine.row; error } :: !entries in
+  let torn_data_rows = ref 0 in
+  List.iter
+    (fun (e : syntax_error) ->
+      let row =
+        if header && e.se_row = 0 then None
+        else begin
+          incr torn_data_rows;
+          Some (data_row_index ~header e.se_row)
+        end
+      in
+      add ?row
+        (Error.make ~relation:name ~severity:Error.Recoverable Error.Csv_syntax
+           ("Csv.parse: " ^ e.se_message)))
+    syntax_errors;
+  let order, data_rows =
+    if header then
+      match rows with
+      | [] -> (List.map (fun a -> (a, true)) attrs, [])
+      | (_, _, hdr) :: rest ->
+          let order =
+            List.map
+              (fun h ->
+                let known = Relation.has_attr rel h in
+                if not known then
+                  add
+                    (Error.make ~relation:name ~attribute:h
+                       ~severity:Error.Recoverable Error.Unknown_column
+                       (Printf.sprintf "ignoring undeclared column %S" h));
+                (h, known))
+              hdr
+          in
+          (order, rest)
+    else (List.map (fun a -> (a, true)) attrs, rows)
+  in
+  List.iter
+    (fun a ->
+      if not (List.exists (fun (h, keep) -> keep && h = a) order) then
+        add
+          (Error.make ~relation:name ~attribute:a ~severity:Error.Recoverable
+             Error.Missing_column
+             (Printf.sprintf "column %S absent from input; filled with NULL" a)))
+    attrs;
+  let width = List.length order in
+  let kept = ref 0 in
+  List.iter
+    (fun (idx, line, row) ->
+      let ridx = data_row_index ~header idx in
+      if List.length row <> width then
+        add ~row:ridx
+          (Error.make ~relation:name ~severity:Error.Recoverable Error.Csv_arity
+             (Printf.sprintf "row %d (line %d): width %d, expected %d" ridx line
+                (List.length row) width))
+      else
+        let bindings =
+          List.concat
+            (List.map2
+               (fun (h, keep) raw -> if keep then [ (h, raw) ] else [])
+               order row)
+        in
+        match tuple_of_bindings rel ~row:ridx ~line bindings with
+        | Ok tuple ->
+            Table.insert table tuple;
+            incr kept
+        | Error e -> add ~row:ridx e)
+    data_rows;
+  let report =
+    {
+      Quarantine.relation = name;
+      total_rows = List.length data_rows + !torn_data_rows;
+      kept = !kept;
+      entries = List.rev !entries;
+    }
+  in
+  (table, report)
 
 let dump_table ?(header = true) table =
   let rel = Table.schema table in

@@ -3,25 +3,52 @@
 
     Quoting rules: a field containing a comma, a double quote, or a
     newline is written quoted; embedded quotes are doubled. Empty fields
-    load as NULL when typed through a {!Domain.t}. *)
+    load as NULL when typed through a {!Domain.t}.
+
+    Every entry point comes in two flavors: strict (raises
+    [Error.Error] with a positioned message) and lenient (drops the
+    offending row and reports it, for quarantine-mode loading). *)
+
+type syntax_error = {
+  se_row : int;  (** 0-based index among all rows, header included *)
+  se_line : int;  (** 1-based line where the offending quote opened *)
+  se_col : int;  (** 1-based column of the offending quote *)
+  se_message : string;
+}
 
 val parse : string -> string list list
 (** Parse a whole CSV document into rows of raw fields. Handles quoted
     fields with embedded separators, doubled quotes and [\r\n] line
     endings. A trailing newline does not produce an empty row.
-    Raises [Failure] on an unterminated quoted field. *)
+    Raises [Error.Error] (code {!Error.Csv_syntax}) with the line/column
+    of the opening quote on an unterminated quoted field. *)
+
+val parse_lenient : string -> string list list * syntax_error list
+(** Like {!parse} but never raises: a row torn by an unterminated quote
+    is dropped and reported. *)
 
 val render : string list list -> string
 (** Inverse of {!parse} (up to quoting normalization). *)
 
-val load_table :
-  ?header:bool -> Relation.t -> string -> Table.t
+val load_table : ?header:bool -> Relation.t -> string -> Table.t
 (** [load_table rel csv] builds a table for [rel] from CSV text. With
     [~header:true] (default) the first row names the columns and they may
-    appear in any order (unknown names raise [Failure]); without a header
-    the columns must follow the declared attribute order. Fields are
-    parsed through each attribute's declared domain ({!Domain.parse});
-    attributes with domain [Unknown] use {!Value.parse}. *)
+    appear in any order; without a header the columns must follow the
+    declared attribute order. Fields are parsed through each attribute's
+    declared domain ({!Domain.parse}); attributes with domain [Unknown]
+    use {!Value.parse}. Raises [Error.Error] with codes
+    {!Error.Csv_syntax}, {!Error.Unknown_column}, {!Error.Missing_column},
+    {!Error.Csv_arity} or {!Error.Type_mismatch}; messages carry the
+    0-based data-row index and 1-based source line. *)
+
+val load_table_lenient :
+  ?header:bool -> Relation.t -> string -> Table.t * Quarantine.report
+(** Graceful-degradation variant of {!load_table}: rows torn by a syntax
+    error, rows of the wrong width, and rows with an ill-typed cell are
+    dropped into the {!Quarantine.report}; undeclared header columns are
+    ignored and missing declared columns filled with NULL, each reported
+    as a table-level entry. The surviving extension is what dependency
+    discovery will run against. *)
 
 val dump_table : ?header:bool -> Table.t -> string
 (** Render a table's extension as CSV (header row by default). *)

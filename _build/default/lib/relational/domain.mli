@@ -32,9 +32,13 @@ val compatible : t -> t -> bool
 (** Two domains can share values (used to prune IND candidates):
     equal domains, numeric pairs, or any pair involving [Unknown]. *)
 
+val parse_opt : t -> string -> Value.t option
+(** [parse_opt d s] reads [s] as a value of domain [d]; empty string is
+    [Some Null]; [None] when [s] does not parse in [d]. *)
+
 val parse : t -> string -> Value.t
-(** [parse d s] reads [s] as a value of domain [d]; empty string is
-    [Null]; raises [Failure] when [s] does not parse in [d]. *)
+(** Strict {!parse_opt}: raises [Error.Error] (code {!Error.Type_mismatch},
+    severity [Recoverable]) when [s] does not parse in [d]. *)
 
 val of_sql_type : string -> t
 (** Map an SQL type name ([INT], [VARCHAR(20)], [DATE], ...) to a domain;

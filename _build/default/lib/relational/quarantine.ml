@@ -1,0 +1,24 @@
+type entry = { row : int option; error : Error.t }
+
+type report = {
+  relation : string;
+  total_rows : int;
+  kept : int;
+  entries : entry list;
+}
+
+let count r = List.length r.entries
+let is_empty r = r.entries = []
+
+let pp_entry ppf e =
+  match e.row with
+  | Some i -> Format.fprintf ppf "row %d: %a" i Error.pp e.error
+  | None -> Format.fprintf ppf "table: %a" Error.pp e.error
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v 2>%s: quarantined %d of %d rows (kept %d)" r.relation
+    (count r) r.total_rows r.kept;
+  List.iter (fun e -> Format.fprintf ppf "@,%a" pp_entry e) r.entries;
+  Format.fprintf ppf "@]"
+
+let to_string r = Format.asprintf "%a" pp r

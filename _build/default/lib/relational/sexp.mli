@@ -1,0 +1,19 @@
+(** Tiny s-expression codec used for pipeline checkpoints.
+
+    Atoms containing whitespace, parens, quotes or backslashes are
+    written quoted with C-style escapes; [to_string] and [of_string]
+    round-trip arbitrary atom contents. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+val to_string : t -> string
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val of_string_opt : string -> t option

@@ -1,1 +1,1 @@
-lib/sqlx/ddl.ml: Ast Database Domain List Option Parser Printf Relation Relational Schema String Value
+lib/sqlx/ddl.ml: Ast Database Domain Error List Option Parser Printf Relation Relational Schema String Value

@@ -85,10 +85,12 @@ let create_table_sql (rel : Relation.t) =
 
 let value_of_expr = function
   | Ast.Lit v -> v
-  | Ast.Col c -> failwith (Printf.sprintf "Ddl.load_script: column %s in VALUES" c.col)
+  | Ast.Col c ->
+      Error.raisef Error.Sql_parse "Ddl.load_script: column %s in VALUES" c.col
   | Ast.Host h ->
-      failwith (Printf.sprintf "Ddl.load_script: host variable %s in VALUES" h)
-  | Ast.Agg_of _ -> failwith "Ddl.load_script: aggregate in VALUES"
+      Error.raisef Error.Sql_parse
+        "Ddl.load_script: host variable %s in VALUES" h
+  | Ast.Agg_of _ -> Error.raise_ Error.Sql_parse "Ddl.load_script: aggregate in VALUES"
 
 let load_script script =
   let stmts = Parser.parse_script script in
@@ -108,17 +110,27 @@ let load_script script =
           let relation =
             match Schema.find schema rel with
             | Some r -> r
-            | None -> failwith (Printf.sprintf "Ddl.load_script: unknown table %s" rel)
+            | None ->
+                Error.raisef ~relation:rel Error.Unknown_relation
+                  "Ddl.load_script: unknown table %s" rel
           in
           List.iter
             (fun row ->
               let values = List.map value_of_expr row in
               let tuple =
                 match cols with
-                | None -> values
+                | None ->
+                    if
+                      List.length values
+                      <> List.length relation.Relation.attrs
+                    then
+                      Error.raise_ ~relation:rel Error.Sql_parse
+                        "Ddl.load_script: VALUES width mismatch";
+                    values
                 | Some cs ->
                     if List.length cs <> List.length values then
-                      failwith "Ddl.load_script: VALUES width mismatch";
+                      Error.raise_ ~relation:rel Error.Sql_parse
+                        "Ddl.load_script: VALUES width mismatch";
                     let bound = List.combine cs values in
                     List.map
                       (fun a ->

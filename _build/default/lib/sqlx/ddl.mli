@@ -34,5 +34,7 @@ val create_table_sql : Relation.t -> string
 
 val load_script : string -> Database.t
 (** Build a database from a script of [CREATE TABLE] and [INSERT]
-    statements (literal values only; host variables are rejected with
-    [Failure]). *)
+    statements (literal values only). Raises [Error.Error] with code
+    {!Error.Unknown_relation} for an [INSERT] into an undeclared table
+    and {!Error.Sql_parse} for host variables, column references or
+    aggregates in [VALUES] and for width mismatches. *)

@@ -1,0 +1,1 @@
+lib/workload/faults.ml: Csv Dbre Domain Error List Printf Relation Relational Rng String

@@ -1,0 +1,1 @@
+lib/workload/faults.mli: Dbre Relation Relational Rng

@@ -1,1 +1,1 @@
-test/helpers.ml: Alcotest Attribute Database Deps List Relation Relational Schema Sqlx String Table Value
+test/helpers.ml: Alcotest Attribute Database Deps Error List Relation Relational Schema Sqlx String Table Value

@@ -1,1 +1,1 @@
-test/test_algebra.ml: Alcotest Algebra Helpers List Relation Relational
+test/test_algebra.ml: Alcotest Algebra Error Helpers List Relation Relational

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Array Checkpoint Dbre Er Filename Ind_discovery List Out_channel Pipeline Rhs_discovery Sys Translate Workload

@@ -1,1 +1,1 @@
-test/test_csv.ml: Alcotest Array Csv Domain Helpers Relation Relational Table
+test/test_csv.ml: Alcotest Array Csv Domain Error Helpers List Quarantine Relation Relational Table

@@ -1,1 +1,1 @@
-test/test_ddl.ml: Alcotest Array Ast Database Ddl Domain List Parser Relation Relational Schema Sqlx Table Value Workload
+test/test_ddl.ml: Alcotest Array Ast Database Ddl Domain Error Helpers List Parser Relation Relational Schema Sqlx Table Value Workload

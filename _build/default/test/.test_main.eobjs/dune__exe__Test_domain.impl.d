@@ -1,1 +1,1 @@
-test/test_domain.ml: Alcotest Domain Helpers Relational Value
+test/test_domain.ml: Alcotest Domain Error Helpers Relational Value

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Csv Database Dbre Error Int64 Lazy List Option Oracle Pipeline Printf QCheck QCheck_alcotest Quarantine Relation Relational Schema Workload

@@ -51,3 +51,25 @@ let check_sorted_fds msg expected actual =
     msg
     (List.sort Deps.Fd.compare expected)
     (List.sort Deps.Fd.compare actual)
+
+(* substring check for error-message assertions *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains name ~sub s =
+  if not (contains ~sub s) then
+    Alcotest.failf "%s: expected %S within %S" name sub s
+
+(* run [f], expecting a typed error with [code]; returns the error record
+   so callers can inspect stage/relation/attribute/message *)
+let expect_error name code f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Error.Error" name
+  | exception Error.Error e ->
+      Alcotest.(check string)
+        (name ^ ": code")
+        (Error.code_to_string code)
+        (Error.code_to_string e.Error.code);
+      e

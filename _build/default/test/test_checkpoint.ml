@@ -1,0 +1,122 @@
+(* Checkpoint/resume: a run with [~checkpoint_dir] leaves one artifact
+   per stage; resuming from those artifacts reproduces the
+   uncheckpointed result without consulting the expert again; corrupt
+   checkpoints are silently recomputed. *)
+
+open Dbre
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir name =
+  rm_rf name;
+  name
+
+let hospital_config () =
+  let s = Workload.Scenarios.hospital in
+  {
+    Pipeline.default_config with
+    Pipeline.oracle = s.Workload.Scenarios.oracle ();
+  }
+
+let run_hospital ?checkpoint_dir ?resume_from () =
+  let s = Workload.Scenarios.hospital in
+  Pipeline.run ~config:(hospital_config ()) ?checkpoint_dir ?resume_from
+    (s.Workload.Scenarios.database ())
+    (Pipeline.Programs s.Workload.Scenarios.programs)
+
+let all_stages =
+  [
+    Checkpoint.Ind; Checkpoint.Lhs; Checkpoint.Rhs; Checkpoint.Restruct;
+    Checkpoint.Translate;
+  ]
+
+let test_checkpoint_files () =
+  let dir = fresh_dir "_ckpt_files" in
+  ignore (run_hospital ~checkpoint_dir:dir ());
+  List.iter
+    (fun stage ->
+      let p = Checkpoint.path ~dir stage in
+      Alcotest.(check bool) (p ^ " written") true (Sys.file_exists p))
+    all_stages;
+  Alcotest.(check bool) "translate marker valid" true
+    (Checkpoint.translate_done ~dir);
+  rm_rf dir
+
+let test_resume_roundtrip () =
+  let dir = fresh_dir "_ckpt_resume" in
+  let baseline = run_hospital () in
+  ignore (run_hospital ~checkpoint_dir:dir ());
+  (* lose the last checkpoint: Translate must be recomputed from the
+     restored Restruct artifact *)
+  Sys.remove (Checkpoint.path ~dir Checkpoint.Translate);
+  let resumed = run_hospital ~resume_from:dir () in
+  Alcotest.(check string) "same EER schema"
+    (Er.Text_render.to_string
+       baseline.Pipeline.translate_result.Translate.eer)
+    (Er.Text_render.to_string
+       resumed.Pipeline.translate_result.Translate.eer);
+  Alcotest.(check bool) "same normal forms" true
+    (Pipeline.nf_report baseline = Pipeline.nf_report resumed);
+  Alcotest.(check bool) "same elicited FDs" true
+    (baseline.Pipeline.rhs_result.Rhs_discovery.fds
+    = resumed.Pipeline.rhs_result.Rhs_discovery.fds);
+  (* every stage came off disk: the expert was never consulted *)
+  Alcotest.(check int) "no oracle events on resume" 0
+    (List.length resumed.Pipeline.events);
+  rm_rf dir
+
+let test_corrupt_checkpoint_recomputed () =
+  let dir = fresh_dir "_ckpt_corrupt" in
+  let generate () =
+    Workload.Gen_schema.generate Workload.Gen_schema.default_spec
+  in
+  let g = generate () in
+  let baseline =
+    Pipeline.run ~checkpoint_dir:dir g.Workload.Gen_schema.db
+      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+  in
+  (* mangle the RHS-Discovery artifact: resume must recompute it *)
+  Out_channel.with_open_bin (Checkpoint.path ~dir Checkpoint.Rhs) (fun oc ->
+      Out_channel.output_string oc "((( not a checkpoint");
+  let g2 = generate () in
+  let resumed =
+    Pipeline.run ~resume_from:dir g2.Workload.Gen_schema.db
+      (Pipeline.Equijoins g2.Workload.Gen_schema.equijoins)
+  in
+  Alcotest.(check bool) "same INDs" true
+    (baseline.Pipeline.ind_result.Ind_discovery.inds
+    = resumed.Pipeline.ind_result.Ind_discovery.inds);
+  Alcotest.(check bool) "same FDs after recompute" true
+    (baseline.Pipeline.rhs_result.Rhs_discovery.fds
+    = resumed.Pipeline.rhs_result.Rhs_discovery.fds);
+  Alcotest.(check string) "same EER schema"
+    (Er.Text_render.to_string
+       baseline.Pipeline.translate_result.Translate.eer)
+    (Er.Text_render.to_string resumed.Pipeline.translate_result.Translate.eer);
+  rm_rf dir
+
+let test_missing_dir_is_fresh_run () =
+  (* resuming from a directory that does not exist just recomputes *)
+  let baseline = run_hospital () in
+  let resumed = run_hospital ~resume_from:"_ckpt_never_written" () in
+  Alcotest.(check bool) "same FDs" true
+    (baseline.Pipeline.rhs_result.Rhs_discovery.fds
+    = resumed.Pipeline.rhs_result.Rhs_discovery.fds);
+  Alcotest.(check bool) "expert consulted as usual" true
+    (List.length resumed.Pipeline.events > 0)
+
+let suite =
+  [
+    Alcotest.test_case "one artifact per stage" `Quick test_checkpoint_files;
+    Alcotest.test_case "resume reproduces the run" `Quick test_resume_roundtrip;
+    Alcotest.test_case "corrupt checkpoint recomputed" `Quick
+      test_corrupt_checkpoint_recomputed;
+    Alcotest.test_case "missing dir falls back to fresh run" `Quick
+      test_missing_dir_is_fresh_run;
+  ]

@@ -24,9 +24,37 @@ let test_parse_quoting () =
     (Csv.parse "a\r\nb\r\n")
 
 let test_parse_errors () =
-  Alcotest.check_raises "unterminated quote"
-    (Failure "Csv.parse: unterminated quoted field") (fun () ->
-      ignore (Csv.parse "\"abc"))
+  let e =
+    expect_error "unterminated quote" Error.Csv_syntax (fun () ->
+        Csv.parse "\"abc")
+  in
+  check_contains "opening position" ~sub:"line 1, column 1" e.Error.message;
+  (* the position is where the quote opened, not EOF *)
+  let e =
+    expect_error "quote opened mid-document" Error.Csv_syntax (fun () ->
+        Csv.parse "a,b\nc,\"open")
+  in
+  check_contains "mid-document position" ~sub:"line 2, column 3"
+    e.Error.message;
+  check_contains "names the fault" ~sub:"unterminated quoted field"
+    e.Error.message
+
+let test_parse_lenient () =
+  (* clean input: no errors, same rows as strict parse *)
+  let rows, errs = Csv.parse_lenient "a,b\nc,d\n" in
+  Alcotest.(check (list (list string))) "clean rows"
+    [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    rows;
+  Alcotest.(check int) "clean errors" 0 (List.length errs);
+  (* torn row is dropped, prior rows survive, position is reported *)
+  let rows, errs = Csv.parse_lenient "a,b\nc,\"open" in
+  Alcotest.(check (list (list string))) "torn row dropped" [ [ "a"; "b" ] ] rows;
+  match errs with
+  | [ e ] ->
+      Alcotest.(check int) "row index" 1 e.Csv.se_row;
+      Alcotest.(check int) "line" 2 e.Csv.se_line;
+      Alcotest.(check int) "column" 3 e.Csv.se_col
+  | _ -> Alcotest.fail "expected exactly one syntax error"
 
 let test_roundtrip () =
   let rows = [ [ "a,b"; "plain" ]; [ "with \"q\""; "x\ny" ] ] in
@@ -55,12 +83,82 @@ let test_load_table () =
 
 let test_load_errors () =
   let rel = Relation.make "T" [ "id" ] in
-  Alcotest.check_raises "unknown column"
-    (Failure "Csv.load_table(T): unknown column \"ghost\"") (fun () ->
-      ignore (Csv.load_table rel "ghost\n1\n"));
-  Alcotest.check_raises "width mismatch"
-    (Failure "Csv.load_table(T): row width 2, expected 1") (fun () ->
-      ignore (Csv.load_table rel "id\n1,2\n"))
+  let e =
+    expect_error "unknown column" Error.Unknown_column (fun () ->
+        Csv.load_table rel "ghost\n1\n")
+  in
+  Alcotest.(check (option string)) "attribute" (Some "ghost") e.Error.attribute;
+  Alcotest.(check (option string)) "relation" (Some "T") e.Error.relation;
+  let e =
+    expect_error "width mismatch" Error.Csv_arity (fun () ->
+        Csv.load_table rel "id\n1,2\n")
+  in
+  check_contains "row and line" ~sub:"row 0 (line 2)" e.Error.message;
+  check_contains "widths" ~sub:"width 2, expected 1" e.Error.message;
+  let typed =
+    Relation.make ~domains:[ ("id", Domain.Int) ] "T" [ "id" ]
+  in
+  let e =
+    expect_error "type mismatch" Error.Type_mismatch (fun () ->
+        Csv.load_table typed "id\n1\nx\n")
+  in
+  Alcotest.(check (option string)) "bad attribute" (Some "id") e.Error.attribute;
+  check_contains "bad cell position" ~sub:"row 1 (line 3)" e.Error.message;
+  let wide = Relation.make "T" [ "id"; "name" ] in
+  let e =
+    expect_error "missing declared column" Error.Missing_column (fun () ->
+        Csv.load_table wide "id\n1\n")
+  in
+  Alcotest.(check (option string)) "missing attribute" (Some "name")
+    e.Error.attribute
+
+let lenient_rel =
+  Relation.make
+    ~domains:[ ("id", Domain.Int); ("name", Domain.String) ]
+    "T" [ "id"; "name" ]
+
+let test_load_lenient () =
+  (* one bad cell, one arity overflow, one torn row: two good rows remain *)
+  let csv = "id,name\n1,ann\nx,bob\n2,col,extra\n3,dan\n4,\"torn" in
+  let t, report = Csv.load_table_lenient lenient_rel csv in
+  Alcotest.(check int) "kept rows" 2 (Table.cardinality t);
+  Alcotest.(check int) "report kept" 2 report.Quarantine.kept;
+  Alcotest.(check int) "report total" 5 report.Quarantine.total_rows;
+  Alcotest.(check int) "quarantined" 3 (Quarantine.count report);
+  let codes =
+    List.map
+      (fun (en : Quarantine.entry) -> Error.code_to_string en.error.Error.code)
+      report.Quarantine.entries
+  in
+  Alcotest.(check (list string)) "entry codes"
+    [ "csv-syntax"; "type-mismatch"; "csv-arity" ]
+    codes;
+  let rows =
+    List.map (fun (en : Quarantine.entry) -> en.Quarantine.row)
+      report.Quarantine.entries
+  in
+  Alcotest.(check (list (option int))) "entry rows"
+    [ Some 4; Some 1; Some 2 ]
+    rows
+
+let test_load_lenient_columns () =
+  (* undeclared header column is ignored with a table-level entry *)
+  let t, report =
+    Csv.load_table_lenient lenient_rel "id,name,ghost\n1,ann,zzz\n"
+  in
+  Alcotest.(check int) "row kept" 1 (Table.cardinality t);
+  Alcotest.(check int) "one entry" 1 (Quarantine.count report);
+  (match report.Quarantine.entries with
+  | [ en ] ->
+      Alcotest.(check (option int)) "table-level" None en.Quarantine.row;
+      Alcotest.(check (option string)) "names the column" (Some "ghost")
+        en.Quarantine.error.Error.attribute
+  | _ -> Alcotest.fail "expected one entry");
+  (* missing declared column is NULL-filled with a table-level entry *)
+  let t, report = Csv.load_table_lenient lenient_rel "id\n1\n" in
+  Alcotest.(check int) "null-filled row kept" 1 (Table.cardinality t);
+  Alcotest.(check value) "filled with NULL" vnull (Table.rows t).(0).(1);
+  Alcotest.(check int) "one missing-column entry" 1 (Quarantine.count report)
 
 let test_dump_roundtrip () =
   let t =
@@ -83,8 +181,11 @@ let suite =
     Alcotest.test_case "parse basic" `Quick test_parse_basic;
     Alcotest.test_case "parse quoting" `Quick test_parse_quoting;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse lenient" `Quick test_parse_lenient;
     Alcotest.test_case "render roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "load table" `Quick test_load_table;
     Alcotest.test_case "load errors" `Quick test_load_errors;
+    Alcotest.test_case "load lenient" `Quick test_load_lenient;
+    Alcotest.test_case "load lenient columns" `Quick test_load_lenient_columns;
     Alcotest.test_case "dump/load roundtrip" `Quick test_dump_roundtrip;
   ]

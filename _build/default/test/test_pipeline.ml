@@ -105,6 +105,7 @@ let test_partition_engine_agrees () =
     let db = Workload.Paper_example.database () in
     let config =
       {
+        Pipeline.default_config with
         Pipeline.oracle = Workload.Paper_example.oracle ();
         fd_engine = engine;
         migrate_data = false;
@@ -120,6 +121,7 @@ let test_no_migration_config () =
   let db = Workload.Paper_example.database () in
   let config =
     {
+      Pipeline.default_config with
       Pipeline.oracle = Workload.Paper_example.oracle ();
       fd_engine = `Naive;
       migrate_data = false;

@@ -1,0 +1,4 @@
+(* Re-export the relational-layer error module under the pipeline's
+   namespace: users deal with [Dbre.Error] regardless of which layer
+   raised. *)
+include Relational.Error

@@ -26,7 +26,9 @@ type expr =
 
 let col d name =
   let rec go i = function
-    | [] -> failwith (Printf.sprintf "Algebra: unknown column %s" name)
+    | [] ->
+        Error.raisef ~attribute:name Error.Unknown_column
+          "Algebra: unknown column %s" name
     | c :: _ when String.equal c name -> i
     | _ :: rest -> go (i + 1) rest
   in
@@ -60,7 +62,7 @@ let check_no_clash cols1 cols2 =
   List.iter
     (fun c ->
       if List.mem c cols1 then
-        failwith (Printf.sprintf "Algebra: column clash on %s in product" c))
+        Error.invariant (Printf.sprintf "Algebra: column clash on %s in product" c))
     cols2
 
 let dedup_rows rows =
@@ -76,7 +78,7 @@ let dedup_rows rows =
 
 let set_op f (d1 : derived) (d2 : derived) =
   if List.length d1.cols <> List.length d2.cols then
-    failwith "Algebra: arity mismatch in set operation";
+    Error.invariant "Algebra: arity mismatch in set operation";
   let s2 = Hashtbl.create 64 in
   List.iter (fun r -> Hashtbl.replace s2 r ()) d2.rows;
   { cols = d1.cols; rows = f (dedup_rows d1.rows) s2 }
@@ -84,7 +86,9 @@ let set_op f (d1 : derived) (d2 : derived) =
 let rec eval db = function
   | Rel name -> (
       match Database.table_opt db name with
-      | None -> failwith (Printf.sprintf "Algebra: unknown relation %s" name)
+      | None ->
+          Error.raisef ~relation:name Error.Unknown_relation
+            "Algebra: unknown relation %s" name
       | Some t ->
           {
             cols = (Table.schema t).Relation.attrs;

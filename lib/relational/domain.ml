@@ -43,30 +43,28 @@ let compatible a b =
   | Int, Float | Float, Int -> true
   | _ -> equal a b
 
-let parse d s =
-  if s = "" then Value.Null
+let parse_opt d s =
+  if s = "" then Some Value.Null
   else
     match d with
-    | Unknown -> Value.parse s
+    | Unknown -> Some (Value.parse s)
     | Bool -> (
         match String.lowercase_ascii s with
-        | "true" | "t" | "1" -> Value.Bool true
-        | "false" | "f" | "0" -> Value.Bool false
-        | _ -> failwith (Printf.sprintf "Domain.parse: %S is not a bool" s))
-    | Int -> (
-        match int_of_string_opt s with
-        | Some i -> Value.Int i
-        | None -> failwith (Printf.sprintf "Domain.parse: %S is not an int" s))
-    | Float -> (
-        match float_of_string_opt s with
-        | Some f -> Value.Float f
-        | None ->
-            failwith (Printf.sprintf "Domain.parse: %S is not a float" s))
+        | "true" | "t" | "1" -> Some (Value.Bool true)
+        | "false" | "f" | "0" -> Some (Value.Bool false)
+        | _ -> None)
+    | Int -> Option.map (fun i -> Value.Int i) (int_of_string_opt s)
+    | Float -> Option.map (fun f -> Value.Float f) (float_of_string_opt s)
     | Date -> (
-        match Value.parse s with
-        | Value.Date _ as v -> v
-        | _ -> failwith (Printf.sprintf "Domain.parse: %S is not a date" s))
-    | String -> Value.String s
+        match Value.parse s with Value.Date _ as v -> Some v | _ -> None)
+    | String -> Some (Value.String s)
+
+let parse d s =
+  match parse_opt d s with
+  | Some v -> v
+  | None ->
+      Error.raisef ~severity:Error.Recoverable Error.Type_mismatch
+        "Domain.parse: %S is not a %s" s (to_string d)
 
 let of_sql_type name =
   let base =

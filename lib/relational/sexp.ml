@@ -1,0 +1,123 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+
+let must_quote s =
+  s = ""
+  || String.exists
+       (fun c ->
+         c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t'
+         || c = '\r' || c = '\\')
+       s
+
+let quote buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Atom s -> if must_quote s then quote buf s else Buffer.add_string buf s
+    | List l ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ' ';
+            go x)
+          l;
+        Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let quoted_atom () =
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Parse_error "unterminated string")
+      else
+        match text.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then raise (Parse_error "dangling escape");
+            (match text.[!pos + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | c -> Buffer.add_char buf c);
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let bare_atom () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match text.[!pos] with
+      | ' ' | '\n' | '\t' | '\r' | '(' | ')' | '"' -> false
+      | _ -> true
+    do
+      incr pos
+    done;
+    Atom (String.sub text start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        incr pos;
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          match peek () with
+          | None -> raise (Parse_error "unterminated list")
+          | Some ')' -> incr pos
+          | Some _ ->
+              items := value () :: !items;
+              loop ()
+        in
+        loop ();
+        List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' -> quoted_atom ()
+    | Some _ -> bare_atom ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then raise (Parse_error "trailing garbage") else v
+
+let of_string_opt text =
+  match of_string text with v -> Some v | exception Parse_error _ -> None

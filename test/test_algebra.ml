@@ -58,10 +58,9 @@ let test_equijoin () =
 let test_product_clash () =
   Alcotest.(check int) "product size" 9
     (List.length (rows (Algebra.Product (Algebra.Rel "R", Algebra.Rel "S"))));
-  (try
-     ignore (rows (Algebra.Product (Algebra.Rel "R", Algebra.Rel "R")));
-     Alcotest.fail "expected clash failure"
-   with Failure _ -> ());
+  ignore
+    (Helpers.expect_error "self product clashes" Error.Invariant (fun () ->
+         rows (Algebra.Product (Algebra.Rel "R", Algebra.Rel "R"))));
   (* rename resolves the clash *)
   let renamed =
     Algebra.Product
@@ -76,21 +75,23 @@ let test_set_ops () =
   Alcotest.(check int) "inter" 2 (List.length (rows (Algebra.Inter (p1, p2))));
   Alcotest.(check int) "union" 4 (List.length (rows (Algebra.Union (p1, p2))));
   Alcotest.(check int) "diff" 1 (List.length (rows (Algebra.Diff (p1, p2))));
-  (try
-     ignore (rows (Algebra.Inter (Algebra.Rel "R", p2)));
-     Alcotest.fail "expected arity failure"
-   with Failure _ -> ())
+  ignore
+    (Helpers.expect_error "set-op arity mismatch" Error.Invariant (fun () ->
+         rows (Algebra.Inter (Algebra.Rel "R", p2))))
 
 let test_unknown () =
-  (try
-     ignore (rows (Algebra.Rel "Ghost"));
-     Alcotest.fail "expected unknown relation"
-   with Failure msg ->
-     Alcotest.(check string) "message" "Algebra: unknown relation Ghost" msg);
-  try
-    ignore (rows (Algebra.Project ([ "ghost" ], Algebra.Rel "R")));
-    Alcotest.fail "expected unknown column"
-  with Failure _ -> ()
+  let e =
+    Helpers.expect_error "unknown relation" Error.Unknown_relation (fun () ->
+        rows (Algebra.Rel "Ghost"))
+  in
+  Alcotest.(check (option string)) "names the relation" (Some "Ghost")
+    e.Error.relation;
+  let e =
+    Helpers.expect_error "unknown column" Error.Unknown_column (fun () ->
+        rows (Algebra.Project ([ "ghost" ], Algebra.Rel "R")))
+  in
+  Alcotest.(check (option string)) "names the column" (Some "ghost")
+    e.Error.attribute
 
 let test_join_null_semantics () =
   let dbn =

@@ -53,14 +53,17 @@ let test_load_partial_columns () =
   Alcotest.(check bool) "missing column null" true (Value.is_null rows.(0).(1))
 
 let test_load_errors () =
-  (try
-     ignore (Ddl.load_script "CREATE TABLE T (a INT); INSERT INTO U VALUES (1);");
-     Alcotest.fail "expected unknown table"
-   with Failure _ -> ());
-  try
-    ignore
-      (Ddl.load_script "CREATE TABLE T (a INT); INSERT INTO T VALUES (:h);")
-  with Failure _ -> ()
+  let e =
+    Helpers.expect_error "unknown table" Error.Unknown_relation (fun () ->
+        Ddl.load_script "CREATE TABLE T (a INT); INSERT INTO U VALUES (1);")
+  in
+  Alcotest.(check (option string)) "names the table" (Some "U") e.Error.relation;
+  ignore
+    (Helpers.expect_error "host variable in VALUES" Error.Sql_parse (fun () ->
+         Ddl.load_script "CREATE TABLE T (a INT); INSERT INTO T VALUES (:h);"));
+  ignore
+    (Helpers.expect_error "VALUES width mismatch" Error.Sql_parse (fun () ->
+         Ddl.load_script "CREATE TABLE T (a INT); INSERT INTO T VALUES (1, 2);"))
 
 let test_paper_ddl () =
   (* the §5 schema as stored in this repository *)

@@ -37,8 +37,16 @@ let test_parse () =
   Alcotest.(check value)
     "string keeps digits" (vs "5") (Domain.parse Domain.String "5");
   Alcotest.(check value) "bool t" (Value.Bool true) (Domain.parse Domain.Bool "t");
-  Alcotest.check_raises "bad int" (Failure "Domain.parse: \"x\" is not an int")
-    (fun () -> ignore (Domain.parse Domain.Int "x"))
+  Alcotest.(check (option value)) "parse_opt mismatch" None
+    (Domain.parse_opt Domain.Int "x");
+  Alcotest.(check (option value)) "parse_opt empty" (Some vnull)
+    (Domain.parse_opt Domain.Int "");
+  let e =
+    expect_error "bad int" Error.Type_mismatch (fun () ->
+        Domain.parse Domain.Int "x")
+  in
+  check_contains "names value and domain" ~sub:"\"x\" is not a int"
+    e.Error.message
 
 let test_of_sql_type () =
   Alcotest.(check dom) "varchar" Domain.String (Domain.of_sql_type "VARCHAR(20)");
