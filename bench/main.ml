@@ -23,6 +23,12 @@ open Relational
 
 let instance = Toolkit.Instance.monotonic_clock
 
+(* --smoke: every B-group at a few iterations over tiny workloads, as a
+   crash-and-shape check cheap enough for `dune runtest` (@bench-smoke).
+   Estimates are meaningless in this mode; only the plumbing is
+   exercised. *)
+let smoke = ref false
+
 let cfg =
   Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
     ~stabilize:false ()
@@ -31,6 +37,10 @@ let cfg =
 let cfg_precise =
   Benchmark.cfg ~limit:2_000 ~quota:(Time.second 3.0) ~kde:None
     ~stabilize:true ()
+
+let cfg_smoke =
+  Benchmark.cfg ~limit:3 ~quota:(Time.second 0.005) ~kde:None
+    ~stabilize:false ()
 
 let ols =
   Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -43,7 +53,11 @@ let pretty_time ns =
 
 (* run a test group, print one line per element, and return the raw
    (name, ns) measurements for shape checks *)
-let run_group ?(cfg = cfg) (test : Test.t) =
+let run_group ?cfg:cfg_opt (test : Test.t) =
+  let cfg =
+    if !smoke then cfg_smoke
+    else match cfg_opt with Some c -> c | None -> cfg
+  in
   let raw = Benchmark.all cfg [ instance ] test in
   let analyzed = Analyze.all ols instance raw in
   let rows =
@@ -142,14 +156,15 @@ let spec_with_rows rows =
     rows_per_denorm = rows * 2;
   }
 
-let sizes = [ 1_000; 5_000; 10_000; 50_000 ]
+let sizes () =
+  if !smoke then [ 20; 40; 60; 80 ] else [ 1_000; 5_000; 10_000; 50_000 ]
 
 (* prebuilt workloads: construction excluded from the measured region *)
 let workloads =
   lazy
     (List.map
        (fun n -> (n, Workload.Gen_schema.generate (spec_with_rows n)))
-       sizes)
+       (sizes ()))
 
 let paper_db = lazy (Workload.Paper_example.database ())
 
@@ -293,8 +308,8 @@ let pipeline_spec n_rel =
     Workload.Gen_schema.default_spec with
     Workload.Gen_schema.n_entities = n_rel / 2;
     n_denorm = n_rel / 2;
-    rows_per_entity = 500;
-    rows_per_denorm = 1_000;
+    rows_per_entity = (if !smoke then 50 else 500);
+    rows_per_denorm = (if !smoke then 100 else 1_000);
   }
 
 let b5 () =
@@ -315,7 +330,7 @@ let b5 () =
                       }
                     g.Workload.Gen_schema.db
                     (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)))))
-      [ 4; 8; 16; 32 ]
+      (if !smoke then [ 4; 8 ] else [ 4; 8; 16; 32 ])
   in
   ignore (run_group (Test.make_grouped ~name:"b5" tests))
 
@@ -379,11 +394,11 @@ let b6 () =
 (* B7: recovery quality under corruption (precision/recall sweep)       *)
 (* ------------------------------------------------------------------ *)
 
-let b7_spec =
+let b7_spec () =
   {
     Workload.Gen_schema.default_spec with
-    Workload.Gen_schema.rows_per_entity = 1_000;
-    rows_per_denorm = 2_000;
+    Workload.Gen_schema.rows_per_entity = (if !smoke then 100 else 1_000);
+    rows_per_denorm = (if !smoke then 200 else 2_000);
     null_ref_rate = 0.0;
   }
 
@@ -402,7 +417,7 @@ let b7 () =
     (fun rate ->
       List.iter
         (fun (oracle_name, mk_oracle) ->
-          let g = Workload.Gen_schema.generate b7_spec in
+          let g = Workload.Gen_schema.generate (b7_spec ()) in
           let db = g.Workload.Gen_schema.db in
           let rng = Workload.Rng.create 2024L in
           (* corrupt every planted reference column at the given rate *)
@@ -438,7 +453,7 @@ let b7 () =
             (Format.asprintf "%a" Workload.Evaluate.pp_metrics im)
             (Format.asprintf "%a" Workload.Evaluate.pp_metrics fm))
         oracles)
-    [ 0.0; 0.01; 0.05; 0.1; 0.2 ]
+    (if !smoke then [ 0.0; 0.1 ] else [ 0.0; 0.01; 0.05; 0.1; 0.2 ])
 
 (* ------------------------------------------------------------------ *)
 (* B8: count-based vs materialized IND test (§6.1 push-down ablation)   *)
@@ -604,14 +619,123 @@ let b10 () =
   | _ -> ());
   rm_rf ckpt_dir
 
+(* ------------------------------------------------------------------ *)
+(* B11: columnar engine - cold vs warm caches, row vs columnar checks,  *)
+(*      Domain-parallel IND warm-up                                     *)
+(* ------------------------------------------------------------------ *)
+
+let b11_spec () =
+  {
+    Workload.Gen_schema.default_spec with
+    Workload.Gen_schema.rows_per_entity = (if !smoke then 200 else 50_000);
+    rows_per_denorm = (if !smoke then 400 else 100_000);
+  }
+
+let b11 () =
+  section "B11: columnar engine - cold vs warm caches, row vs columnar checks";
+  let g = Workload.Gen_schema.generate (b11_spec ()) in
+  let db = g.Workload.Gen_schema.db in
+  let j = List.hd g.Workload.Gen_schema.equijoins in
+  let left = (j.Sqlx.Equijoin.rel1, j.Sqlx.Equijoin.attrs1) in
+  let right = (j.Sqlx.Equijoin.rel2, j.Sqlx.Equijoin.attrs2) in
+  let f =
+    List.hd g.Workload.Gen_schema.truth.Workload.Gen_schema.planted_fds
+  in
+  let table = Database.table db f.Deps.Fd.rel in
+  let cold = Engine.make ~cache:Engine.Cache_off () in
+  let warm = Engine.columnar in
+  Printf.printf "  workload: %d rows in %s; engines agree: %b\n"
+    (Table.cardinality table) f.Deps.Fd.rel
+    (Database.join_count ~engine:Engine.naive db left right
+     = Database.join_count ~engine:warm db left right
+    && Deps.Fd_infer.holds ~engine:Engine.naive table f
+       = Deps.Fd_infer.holds ~engine:warm table f);
+  let tests =
+    [
+      Test.make ~name:"count-distinct/row (seed)"
+        (Staged.stage (fun () ->
+             ignore
+               (Database.count_distinct ~engine:Engine.naive db (fst left)
+                  (snd left))));
+      Test.make ~name:"count-distinct/columnar cold (store rebuilt)"
+        (Staged.stage (fun () ->
+             ignore
+               (Database.count_distinct ~engine:cold db (fst left) (snd left))));
+      Test.make ~name:"count-distinct/columnar warm (memoized)"
+        (Staged.stage (fun () ->
+             ignore
+               (Database.count_distinct ~engine:warm db (fst left) (snd left))));
+      Test.make ~name:"join-count/row (seed)"
+        (Staged.stage (fun () ->
+             ignore (Database.join_count ~engine:Engine.naive db left right)));
+      Test.make ~name:"join-count/columnar warm (memoized)"
+        (Staged.stage (fun () ->
+             ignore (Database.join_count ~engine:warm db left right)));
+      Test.make ~name:"fd-check/naive (seed)"
+        (Staged.stage (fun () ->
+             ignore (Deps.Fd_infer.holds ~engine:Engine.naive table f)));
+      Test.make ~name:"fd-check/partition"
+        (Staged.stage (fun () ->
+             ignore (Deps.Fd_infer.holds ~engine:Engine.partition table f)));
+      Test.make ~name:"fd-check/columnar warm (memoized)"
+        (Staged.stage (fun () ->
+             ignore (Deps.Fd_infer.holds ~engine:warm table f)));
+    ]
+  in
+  let rows = run_group (Test.make_grouped ~name:"b11" tests) in
+  let find needle =
+    List.find_opt
+      (fun (name, _) ->
+        let nl = String.length needle and l = String.length name in
+        let rec go i =
+          i + nl <= l && (String.sub name i nl = needle || go (i + 1))
+        in
+        go 0)
+      rows
+  in
+  let speedup what slow fast =
+    match (find slow, find fast) with
+    | Some (_, s), Some (_, f) when f > 0.0 ->
+        Printf.printf "  %s speedup: %.0fx (target: >= 5x)\n" what (s /. f)
+    | _ -> ()
+  in
+  speedup "warm-cache count-distinct vs row" "count-distinct/row"
+    "count-distinct/columnar warm";
+  speedup "warm-cache join-count vs row" "join-count/row"
+    "join-count/columnar warm";
+  speedup "warm-cache fd-check vs naive" "fd-check/naive"
+    "fd-check/columnar warm";
+  (* Domain-parallel warm-up: whole IND-Discovery wall-clock, cold
+     stores, 1/2/4 domains (fresh database per run so nothing is
+     pre-warmed; elicitation itself is sequential in all three) *)
+  Printf.printf "  ind-discovery wall-clock (cold caches, %d equi-joins):\n"
+    (List.length g.Workload.Gen_schema.equijoins);
+  List.iter
+    (fun n ->
+      let g = Workload.Gen_schema.generate (b11_spec ()) in
+      let engine =
+        Engine.make
+          ~parallelism:
+            (if n = 1 then Engine.Sequential else Engine.Domains n)
+          ()
+      in
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Dbre.Ind_discovery.run ~engine Dbre.Oracle.automatic
+           g.Workload.Gen_schema.db g.Workload.Gen_schema.equijoins);
+      Printf.printf "    domains=%d  %s\n" n
+        (pretty_time ((Unix.gettimeofday () -. t0) *. 1e9)))
+    [ 1; 2; 4 ]
+
 let all_benches =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
-    ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10);
+    ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
   ]
 
 let () =
   let args = Array.to_list Sys.argv in
+  if List.mem "--smoke" args then smoke := true;
   let experiments_only = List.mem "--experiments" args in
   let bench_only = List.mem "--bench" args in
   (* bare group names (e.g. `main.exe b10`) select specific B-groups *)

@@ -26,24 +26,17 @@ let load_database ?(lenient = false) ~ddl_path ~data_dir () =
   let schema, _fks = Sqlx.Ddl.schema_of_script (read_file ddl_path) in
   let db = Database.create schema in
   let reports = ref [] in
+  let mode = if lenient then `Quarantine else `Strict in
   List.iter
     (fun rel ->
       let name = rel.Relation.name in
       let csv_path = Filename.concat data_dir (name ^ ".csv") in
-      if Sys.file_exists csv_path then begin
-        let table =
-          if lenient then begin
-            let table, report =
-              Csv.load_table_lenient rel (read_file csv_path)
-            in
-            if not (Quarantine.is_empty report) then
-              reports := report :: !reports;
-            table
-          end
-          else Csv.load_table rel (read_file csv_path)
-        in
-        Database.replace_table db table
-      end)
+      if Sys.file_exists csv_path then
+        match Csv.load ~mode rel (read_file csv_path) with
+        | Ok (table, report) ->
+            Option.iter (fun r -> reports := r :: !reports) report;
+            Database.replace_table db table
+        | Error e -> raise (Error.Error e))
     (Schema.relations schema);
   (db, List.rev !reports)
 
@@ -85,6 +78,22 @@ let parse_oracle = function
       | Some r -> Ok (Dbre.Oracle.threshold ~nei_ratio:r)
       | None -> Error (Printf.sprintf "bad threshold in %S" s))
   | s -> Error (Printf.sprintf "unknown oracle mode %S" s)
+
+let engine_arg =
+  let doc =
+    "Extension-check engine: 'columnar' (default: dictionary-encoded \
+     columns, memoized per table), 'partition', 'naive' (the row-hashing \
+     baseline), 'parallel' or 'parallel:<domains>'."
+  in
+  Arg.(value & opt string "default" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let parse_engine s =
+  match Dbre.Engine.of_string s with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Printf.sprintf
+           "unknown engine %S (use naive|partition|columnar|parallel[:<n>])" s)
 
 let lenient_arg =
   let doc =
@@ -136,6 +145,32 @@ let report_result ?dot ?markdown result =
       Format.printf "@.EER schema written to %s@." path
   | None -> ()
 
+(* a stage failed: print the structured error, the completed-stage
+   prefix, and how to resume when checkpoints were written *)
+let report_partial ?checkpoint_dir (p : Dbre.Pipeline.partial) =
+  Format.eprintf "pipeline failed: %a@." Dbre.Error.pp p.Dbre.Pipeline.p_error;
+  let completed =
+    List.filter_map
+      (fun (name, done_) -> if done_ then Some name else None)
+      [
+        ("extract", p.Dbre.Pipeline.p_equijoins <> None);
+        ("ind-discovery", p.Dbre.Pipeline.p_ind_result <> None);
+        ("lhs-discovery", p.Dbre.Pipeline.p_lhs_result <> None);
+        ("rhs-discovery", p.Dbre.Pipeline.p_rhs_result <> None);
+        ("restruct", p.Dbre.Pipeline.p_restruct_result <> None);
+      ]
+  in
+  Format.eprintf "completed stages: %s@."
+    (if completed = [] then "(none)" else String.concat ", " completed);
+  (match checkpoint_dir with
+  | Some dir ->
+      Format.eprintf
+        "checkpoints for completed stages are in %s; rerun with --resume to \
+         continue@."
+        dir
+  | None -> ());
+  1
+
 (* ------------------------------------------------------------------ *)
 (* example                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -154,7 +189,7 @@ let example_cmd =
                 (fun s -> s.Workload.Scenarios.name)
                 Workload.Scenarios.all));
         1
-    | Some s ->
+    | Some s -> (
         let db = s.Workload.Scenarios.database () in
         let config =
           {
@@ -162,12 +197,14 @@ let example_cmd =
             Dbre.Pipeline.oracle = s.Workload.Scenarios.oracle ();
           }
         in
-        let result =
-          Dbre.Pipeline.run ~config db
+        match
+          Dbre.Pipeline.run_checked ~config db
             (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
-        in
-        report_result ?dot ?markdown result;
-        0
+        with
+        | Ok result ->
+            report_result ?dot ?markdown result;
+            0
+        | Error p -> report_partial p)
   in
   let doc = "Run a built-in reverse-engineering scenario end to end." in
   Cmd.v
@@ -191,12 +228,13 @@ let programs_arg =
   Arg.(required & opt (some dir) None & info [ "programs" ] ~docv:"DIR" ~doc)
 
 let analyze_cmd =
-  let run ddl data programs oracle lenient checkpoint_dir resume dot markdown =
-    match parse_oracle oracle with
-    | Error msg ->
+  let run ddl data programs oracle engine lenient checkpoint_dir resume dot
+      markdown =
+    match (parse_oracle oracle, parse_engine engine) with
+    | Error msg, _ | _, Error msg ->
         prerr_endline msg;
         1
-    | Ok oracle ->
+    | Ok oracle, Ok engine ->
         if resume && checkpoint_dir = None then begin
           prerr_endline "--resume requires --checkpoint-dir";
           1
@@ -211,6 +249,7 @@ let analyze_cmd =
             {
               Dbre.Pipeline.default_config with
               Dbre.Pipeline.oracle;
+              engine;
               on_bad_tuple = (if lenient then `Quarantine else `Fail);
             }
           in
@@ -223,31 +262,7 @@ let analyze_cmd =
           | Ok result ->
               report_result ?dot ?markdown result;
               0
-          | Error p ->
-              Format.eprintf "pipeline failed: %a@." Dbre.Error.pp
-                p.Dbre.Pipeline.p_error;
-              let completed =
-                List.filter_map
-                  (fun (name, done_) -> if done_ then Some name else None)
-                  [
-                    ("extract", p.Dbre.Pipeline.p_equijoins <> None);
-                    ("ind-discovery", p.Dbre.Pipeline.p_ind_result <> None);
-                    ("lhs-discovery", p.Dbre.Pipeline.p_lhs_result <> None);
-                    ("rhs-discovery", p.Dbre.Pipeline.p_rhs_result <> None);
-                    ("restruct", p.Dbre.Pipeline.p_restruct_result <> None);
-                  ]
-              in
-              Format.eprintf "completed stages: %s@."
-                (if completed = [] then "(none)"
-                 else String.concat ", " completed);
-              (match checkpoint_dir with
-              | Some dir ->
-                  Format.eprintf
-                    "checkpoints for completed stages are in %s; rerun with \
-                     --resume to continue@."
-                    dir
-              | None -> ());
-              1
+          | Error p -> report_partial ?checkpoint_dir p
   in
   let doc =
     "Reverse-engineer a database given its DDL, extension and programs."
@@ -255,20 +270,20 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
-      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ lenient_arg
-      $ checkpoint_arg $ resume_arg $ dot_arg $ markdown_arg)
+      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ engine_arg
+      $ lenient_arg $ checkpoint_arg $ resume_arg $ dot_arg $ markdown_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inds                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let inds_cmd =
-  let run ddl data programs oracle lenient =
-    match parse_oracle oracle with
-    | Error msg ->
+  let run ddl data programs oracle engine lenient =
+    match (parse_oracle oracle, parse_engine engine) with
+    | Error msg, _ | _, Error msg ->
         prerr_endline msg;
         1
-    | Ok oracle ->
+    | Ok oracle, Ok engine ->
         handle_errors ~hint:(not lenient) @@ fun () ->
         let db, quarantine =
           load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
@@ -282,7 +297,7 @@ let inds_cmd =
                extraction.Sqlx.Embedded.statements)
         in
         Format.printf "Equi-joins:@.%a@.@." Dbre.Report.pp_equijoins joins;
-        let r = Dbre.Ind_discovery.run oracle db joins in
+        let r = Dbre.Ind_discovery.run ~engine oracle db joins in
         Format.printf "Trace:@.%a@.@." Dbre.Report.pp_ind_steps
           r.Dbre.Ind_discovery.steps;
         Format.printf "IND:@.%a@." Dbre.Report.pp_inds
@@ -293,7 +308,8 @@ let inds_cmd =
   Cmd.v
     (Cmd.info "inds" ~doc)
     Term.(
-      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ lenient_arg)
+      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ engine_arg
+      $ lenient_arg)
 
 (* ------------------------------------------------------------------ *)
 (* discover (exhaustive baselines)                                      *)
@@ -366,12 +382,12 @@ let migrate_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run ddl data programs oracle lenient out verify =
-    match parse_oracle oracle with
-    | Error msg ->
+  let run ddl data programs oracle engine lenient out verify =
+    match (parse_oracle oracle, parse_engine engine) with
+    | Error msg, _ | _, Error msg ->
         prerr_endline msg;
         1
-    | Ok oracle ->
+    | Ok oracle, Ok engine -> (
         handle_errors ~hint:(not lenient) @@ fun () ->
         let db, quarantine =
           load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
@@ -382,40 +398,45 @@ let migrate_cmd =
           {
             Dbre.Pipeline.default_config with
             Dbre.Pipeline.oracle;
+            engine;
             on_bad_tuple = (if lenient then `Quarantine else `Fail);
           }
         in
-        let result =
-          Dbre.Pipeline.run ~config db
+        match
+          Dbre.Pipeline.run_checked ~config db
             (Dbre.Pipeline.Programs (load_programs programs))
-        in
-        let sql = Dbre.Migration.script ~original result in
-        (match out with
-        | Some path ->
-            write_file path sql;
-            Printf.printf "migration written to %s\n" path
-        | None -> print_string sql);
-        if verify then begin
-          let fresh, _ = load_database ~lenient ~ddl_path:ddl ~data_dir:data () in
-          Sqlx.Exec.exec_script fresh sql;
-          let expected =
-            Option.get
-              result.Dbre.Pipeline.restruct_result.Dbre.Restruct.database
-          in
-          let ok =
-            List.for_all
-              (fun rel ->
-                let name = rel.Relation.name in
-                let sort t =
-                  List.sort compare (Table.to_lists (Database.table t name))
-                in
-                sort fresh = sort expected)
-              (Schema.relations (Database.schema expected))
-          in
-          Printf.printf "verification: %s\n" (if ok then "OK" else "FAILED");
-          if not ok then exit 1
-        end;
-        0
+        with
+        | Error p -> report_partial p
+        | Ok result ->
+            let sql = Dbre.Migration.script ~original result in
+            (match out with
+            | Some path ->
+                write_file path sql;
+                Printf.printf "migration written to %s\n" path
+            | None -> print_string sql);
+            if verify then begin
+              let fresh, _ =
+                load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
+              in
+              Sqlx.Exec.exec_script fresh sql;
+              let expected =
+                Option.get
+                  result.Dbre.Pipeline.restruct_result.Dbre.Restruct.database
+              in
+              let ok =
+                List.for_all
+                  (fun rel ->
+                    let name = rel.Relation.name in
+                    let sort t =
+                      List.sort compare (Table.to_lists (Database.table t name))
+                    in
+                    sort fresh = sort expected)
+                  (Schema.relations (Database.schema expected))
+              in
+              Printf.printf "verification: %s\n" (if ok then "OK" else "FAILED");
+              if not ok then exit 1
+            end;
+            0)
   in
   let doc =
     "Generate (and optionally verify) the SQL migration script that \
@@ -424,8 +445,8 @@ let migrate_cmd =
   Cmd.v
     (Cmd.info "migrate" ~doc)
     Term.(
-      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ lenient_arg
-      $ out_arg $ verify_arg)
+      const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ engine_arg
+      $ lenient_arg $ out_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                             *)

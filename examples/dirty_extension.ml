@@ -52,8 +52,15 @@ let run_with name oracle =
   let g, db, target_ind, target_fd, _, _ = fresh_corrupted () in
   let config = { Dbre.Pipeline.default_config with Dbre.Pipeline.oracle } in
   let result =
-    Dbre.Pipeline.run ~config db
-      (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+    match
+      Dbre.Pipeline.run_checked ~config db
+        (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+    with
+    | Ok r -> r
+    | Error p ->
+        Format.eprintf "pipeline failed: %a@." Dbre.Error.pp
+          p.Dbre.Pipeline.p_error;
+        exit 1
   in
   let inds = result.Dbre.Pipeline.ind_result.Dbre.Ind_discovery.inds in
   let fds = result.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.fds in
@@ -122,8 +129,15 @@ let () =
     { Dbre.Pipeline.default_config with Dbre.Pipeline.oracle = enforcing }
   in
   let result =
-    Dbre.Pipeline.run ~config db2
-      (Dbre.Pipeline.Equijoins g2.Workload.Gen_schema.equijoins)
+    match
+      Dbre.Pipeline.run_checked ~config db2
+        (Dbre.Pipeline.Equijoins g2.Workload.Gen_schema.equijoins)
+    with
+    | Ok r -> r
+    | Error p ->
+        Format.eprintf "pipeline failed: %a@." Dbre.Error.pp
+          p.Dbre.Pipeline.p_error;
+        exit 1
   in
   Format.printf "With enforcement, F =@.%a@." Dbre.Report.pp_fds
     result.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.fds

@@ -36,8 +36,15 @@ let () =
     }
   in
   let result =
-    Dbre.Pipeline.run ~config db
-      (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+    match
+      Dbre.Pipeline.run_checked ~config db
+        (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+    with
+    | Ok r -> r
+    | Error p ->
+        Format.eprintf "pipeline failed: %a@." Dbre.Error.pp
+          p.Dbre.Pipeline.p_error;
+        exit 1
   in
   Format.printf "%a@." Dbre.Report.pp_result result;
 

@@ -14,7 +14,7 @@ let () =
   (* 1. The legacy database: schema (with dictionary constraints) and
      extension. Here we use the repository's §5 example; in a real
      setting you would load a DDL script (Sqlx.Ddl.schema_of_script) and
-     CSV extensions (Csv.load_table). *)
+     CSV extensions (Csv.load). *)
   let db = Workload.Paper_example.database () in
   Format.printf "Input schema:@.%a@.@." Schema.pp (Database.schema db);
   Format.printf "K = %a@." Dbre.Report.pp_k_set (Database.schema db);
@@ -32,9 +32,17 @@ let () =
      Dbre.Oracle.automatic for a hands-free run. *)
   let oracle = Workload.Paper_example.oracle () in
 
-  (* 4. Run the method. *)
+  (* 4. Run the method. [run_checked] returns a typed partial result on
+     a stage failure instead of raising. *)
   let config = { Dbre.Pipeline.default_config with Dbre.Pipeline.oracle } in
-  let result = Dbre.Pipeline.run ~config db (Dbre.Pipeline.Equijoins q) in
+  let result =
+    match Dbre.Pipeline.run_checked ~config db (Dbre.Pipeline.Equijoins q) with
+    | Ok r -> r
+    | Error p ->
+        Format.eprintf "pipeline failed: %a@." Dbre.Error.pp
+          p.Dbre.Pipeline.p_error;
+        exit 1
+  in
 
   (* 5. Inspect every elicited artifact. *)
   Format.printf "%a@." Dbre.Report.pp_result result;

@@ -1,0 +1,5 @@
+(* Re-export the relational-layer engine descriptor under the
+   pipeline's namespace: users pick a [Dbre.Engine] regardless of which
+   layer dispatches on it (FD checks in [Deps.Fd_infer], counting in
+   [Relational.Database], fan-out in [Ind_discovery]). *)
+include Relational.Engine

@@ -23,8 +23,12 @@ let join_resolvable db (j : Sqlx.Equijoin.t) =
   side j.Sqlx.Equijoin.rel1 j.Sqlx.Equijoin.attrs1
   && side j.Sqlx.Equijoin.rel2 j.Sqlx.Equijoin.attrs2
 
+let store_for engine tbl =
+  if Engine.cached engine then Column_store.of_table tbl
+  else Column_store.build tbl
+
 (* materialize the intersection of the two projections as a new relation *)
-let conceptualize db (j : Sqlx.Equijoin.t) name =
+let conceptualize ~engine db (j : Sqlx.Equijoin.t) name =
   let t1 = Database.table db j.Sqlx.Equijoin.rel1 in
   let t2 = Database.table db j.Sqlx.Equijoin.rel2 in
   let attrs = j.Sqlx.Equijoin.attrs1 in
@@ -33,12 +37,27 @@ let conceptualize db (j : Sqlx.Equijoin.t) name =
   in
   let rel = Relation.make ~domains ~uniques:[ attrs ] name attrs in
   Database.add_relation db rel;
-  let d1 = Table.distinct_table t1 j.Sqlx.Equijoin.attrs1 in
-  let d2 = Table.distinct_table t2 j.Sqlx.Equijoin.attrs2 in
-  Hashtbl.iter
-    (fun values () ->
-      if Hashtbl.mem d2 values then Database.insert db name values)
-    d1;
+  let d1, d2 =
+    match engine.Engine.check with
+    | Engine.Columnar ->
+        ( Column_store.distinct_set (store_for engine t1) j.Sqlx.Equijoin.attrs1,
+          Column_store.distinct_set (store_for engine t2) j.Sqlx.Equijoin.attrs2
+        )
+    | Engine.Naive | Engine.Partition ->
+        ( Table.distinct_table t1 j.Sqlx.Equijoin.attrs1,
+          Table.distinct_table t2 j.Sqlx.Equijoin.attrs2 )
+  in
+  (* sort the intersection so the materialized extension is identical
+     whichever engine computed it (hash order is not) *)
+  let intersection =
+    Hashtbl.fold
+      (fun values () acc ->
+        if Hashtbl.mem d2 values then values :: acc else acc)
+      d1 []
+  in
+  List.iter
+    (fun values -> Database.insert db name values)
+    (List.sort compare intersection);
   rel
 
 let fresh_name db base =
@@ -48,7 +67,64 @@ let fresh_name db base =
   in
   go 0
 
-let run (oracle : Oracle.t) db joins =
+(* Pre-warm the per-table caches every count of the elicitation loop
+   will hit: group the distinct (table, attrs) sides of [Q] by table,
+   then fan tables out over domains — each store is touched by exactly
+   one domain, so no cache is shared across domains while building.
+   The elicitation loop itself stays sequential in the order of [Q]
+   (expert decisions are inherently ordered), so results are identical
+   whatever the domain count. *)
+let warm ~engine db joins =
+  let n_domains = Engine.domain_count engine in
+  if
+    n_domains > 1
+    && engine.Engine.check = Engine.Columnar
+    && Engine.cached engine
+  then begin
+    let per_table : (string, string list list) Hashtbl.t = Hashtbl.create 16 in
+    let add rel attrs =
+      let prev = Option.value ~default:[] (Hashtbl.find_opt per_table rel) in
+      if not (List.mem attrs prev) then
+        Hashtbl.replace per_table rel (attrs :: prev)
+    in
+    List.iter
+      (fun (j : Sqlx.Equijoin.t) ->
+        if join_resolvable db j then begin
+          add j.Sqlx.Equijoin.rel1 j.Sqlx.Equijoin.attrs1;
+          add j.Sqlx.Equijoin.rel2 j.Sqlx.Equijoin.attrs2
+        end)
+      joins;
+    let tables =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun rel attrs acc -> (rel, attrs) :: acc) per_table [])
+    in
+    let n = min n_domains (max 1 (List.length tables)) in
+    let buckets = Array.make n [] in
+    List.iteri
+      (fun i side -> buckets.(i mod n) <- side :: buckets.(i mod n))
+      tables;
+    let work bucket () =
+      List.iter
+        (fun (rel, attr_lists) ->
+          let store = Column_store.of_table (Database.table db rel) in
+          List.iter
+            (fun attrs -> ignore (Column_store.distinct_set store attrs))
+            attr_lists)
+        bucket
+    in
+    let spawned =
+      Array.to_list
+        (Array.map
+           (fun b -> Stdlib.Domain.spawn (work b))
+           (Array.sub buckets 1 (n - 1)))
+    in
+    work buckets.(0) ();
+    List.iter Stdlib.Domain.join spawned
+  end
+
+let run ?(engine = Engine.default) (oracle : Oracle.t) db joins =
+  warm ~engine db joins;
   let inds = ref [] and new_relations = ref [] and steps = ref [] in
   let add_ind ind =
     if not (List.exists (Ind.equal ind) !inds) then inds := ind :: !inds
@@ -65,9 +141,11 @@ let run (oracle : Oracle.t) db joins =
     else begin
       let left = (j.Sqlx.Equijoin.rel1, j.Sqlx.Equijoin.attrs1) in
       let right = (j.Sqlx.Equijoin.rel2, j.Sqlx.Equijoin.attrs2) in
-      let n_left = Database.count_distinct db (fst left) (snd left) in
-      let n_right = Database.count_distinct db (fst right) (snd right) in
-      let n_join = Database.join_count db left right in
+      let n_left = Database.count_distinct ~engine db (fst left) (snd left) in
+      let n_right =
+        Database.count_distinct ~engine db (fst right) (snd right)
+      in
+      let n_join = Database.join_count ~engine db left right in
       let counts = { Ind.n_left; n_right; n_join } in
       let case =
         if n_join = 0 then Empty_intersection
@@ -90,7 +168,7 @@ let run (oracle : Oracle.t) db joins =
           (match decision with
           | Oracle.Conceptualize name ->
               let name = fresh_name db name in
-              let rel = conceptualize db j name in
+              let rel = conceptualize ~engine db j name in
               new_relations := rel :: !new_relations;
               add_ind (Ind.make (name, rel.Relation.attrs) left);
               add_ind (Ind.make (name, rel.Relation.attrs) right)

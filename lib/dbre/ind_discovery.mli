@@ -34,9 +34,20 @@ type result = {
   steps : step list;  (** full per-equi-join trace *)
 }
 
-val run : Oracle.t -> Database.t -> Sqlx.Equijoin.t list -> result
+val run :
+  ?engine:Engine.t -> Oracle.t -> Database.t -> Sqlx.Equijoin.t list -> result
 (** Runs the algorithm. The database is mutated only by conceptualized
-    NEI relations (added with their intersection extension). Equi-joins
-    over unknown relations or attributes are skipped (recorded as
+    NEI relations (added with their intersection extension, sorted so
+    every engine materializes the same table). Equi-joins over unknown
+    relations or attributes are skipped (recorded as
     {!Empty_intersection} with zero counts). Duplicate INDs are elicited
-    once. *)
+    once.
+
+    All three counts go through [engine] (default {!Engine.default}:
+    memoized columnar). With [parallelism = Domains n] (n > 1) and a
+    cached columnar engine, the per-table stores and distinct sets of
+    every side of [Q] are pre-built by [n] domains — each table owned
+    by exactly one domain — before the sequential elicitation loop
+    consumes them, so the result (and its order) is identical to the
+    sequential run. Any other engine configuration warms nothing and
+    runs fully sequentially. *)

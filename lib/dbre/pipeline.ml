@@ -8,7 +8,7 @@ type input =
 
 type config = {
   oracle : Oracle.t;
-  fd_engine : [ `Naive | `Partition ];
+  engine : Engine.t;
   migrate_data : bool;
   on_bad_tuple : [ `Fail | `Quarantine ];
 }
@@ -16,7 +16,7 @@ type config = {
 let default_config =
   {
     oracle = Oracle.automatic;
-    fd_engine = `Naive;
+    engine = Engine.default;
     migrate_data = true;
     on_bad_tuple = `Fail;
   }
@@ -44,11 +44,14 @@ type partial = {
 }
 
 let load_extension config rel csv =
-  match config.on_bad_tuple with
-  | `Fail -> (Csv.load_table rel csv, None)
-  | `Quarantine ->
-      let table, report = Csv.load_table_lenient rel csv in
-      (table, if Quarantine.is_empty report then None else Some report)
+  let mode =
+    match config.on_bad_tuple with
+    | `Fail -> `Strict
+    | `Quarantine -> `Quarantine
+  in
+  match Csv.load ~mode rel csv with
+  | Ok loaded -> loaded
+  | Stdlib.Error e -> raise (Error.Error e)
 
 let extract_equijoins db = function
   | Equijoins q -> q
@@ -120,7 +123,7 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
         stage_run Error.Ind_discovery
           (fun ~dir -> Checkpoint.load_ind ~dir db)
           (fun ~dir r -> Checkpoint.write_ind ~dir db r)
-          (fun () -> Ind_discovery.run oracle db equijoins)
+          (fun () -> Ind_discovery.run ~engine:config.engine oracle db equijoins)
       with
       | Stdlib.Error e -> Stdlib.Error (partial ~equijoins e)
       | Ok ind_result -> (
@@ -142,7 +145,7 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
               match
                 stage_run Error.Rhs_discovery Checkpoint.load_rhs
                   Checkpoint.write_rhs (fun () ->
-                    Rhs_discovery.run ~engine:config.fd_engine oracle db
+                    Rhs_discovery.run ~engine:config.engine oracle db
                       ~lhs:lhs_result.Lhs_discovery.lhs
                       ~hidden:lhs_result.Lhs_discovery.hidden)
               with

@@ -24,15 +24,20 @@ type input =
 
 type config = {
   oracle : Oracle.t;
-  fd_engine : [ `Naive | `Partition ];
+  engine : Engine.t;
+      (** one engine descriptor drives every extension check of the run:
+          FD checks (RHS-Discovery), distinct/join counting
+          (IND-Discovery) and the optional parallel warm-up. Build one
+          with {!Engine.make}, or use a preset ({!Engine.naive},
+          {!Engine.partition}, {!Engine.columnar}, {!Engine.parallel}) *)
   migrate_data : bool;  (** populate the restructured database *)
   on_bad_tuple : [ `Fail | `Quarantine ];
       (** what {!load_extension} does with unparseable tuples *)
 }
 
 val default_config : config
-(** {!Oracle.automatic}, naive FD checks, data migration on, strict
-    ([`Fail]) tuple handling. *)
+(** {!Oracle.automatic}, {!Engine.default} (memoized columnar,
+    sequential), data migration on, strict ([`Fail]) tuple handling. *)
 
 type result = {
   equijoins : Sqlx.Equijoin.t list;  (** the [Q] actually analyzed *)
@@ -97,14 +102,16 @@ val run :
   result
 (** Thin wrapper over {!run_checked} keeping the historical
     exception-raising contract: raises [Error.Error] (the structured
-    [p_error]) on a stage failure. *)
+    [p_error]) on a stage failure.
+    @deprecated New code should use {!run_checked}, which also carries
+    the artifacts of the stages that completed before the failure. *)
 
 val load_extension :
   config -> Relation.t -> string -> Table.t * Quarantine.report option
-(** Load one relation's CSV extension honoring [config.on_bad_tuple]:
-    [`Fail] uses {!Csv.load_table} (raises on bad input), [`Quarantine]
-    uses {!Csv.load_table_lenient} and returns the report when any
-    tuple was quarantined. *)
+(** Load one relation's CSV extension honoring [config.on_bad_tuple],
+    via {!Csv.load}: [`Fail] loads strictly (raises [Error.Error] on
+    bad input), [`Quarantine] loads leniently and returns the report
+    when any tuple was quarantined. *)
 
 type degradation = {
   deg_relation : string;

@@ -15,7 +15,7 @@ type step = {
 
 type result = { fds : Fd.t list; hidden : Attribute.t list; steps : step list }
 
-let run ?(engine = `Naive) (oracle : Oracle.t) db ~lhs ~hidden =
+let run ?(engine = Engine.default) (oracle : Oracle.t) db ~lhs ~hidden =
   let schema = Database.schema db in
   let fds = ref [] and out_hidden = ref [] and steps = ref [] in
   let in_h (a : Attribute.t) = List.exists (Attribute.equal a) hidden in

@@ -36,11 +36,13 @@ type result = {
 }
 
 val run :
-  ?engine:[ `Naive | `Partition ] ->
+  ?engine:Engine.t ->
   Oracle.t ->
   Database.t ->
   lhs:Attribute.t list ->
   hidden:Attribute.t list ->
   result
-(** [engine] selects the FD-check implementation (default [`Naive]).
+(** [engine] selects the FD-check implementation (default
+    {!Engine.default}: memoized columnar — every candidate [A -> b_t]
+    over the same relation shares the store's LHS partition).
     Candidates over unknown relations are dropped. *)

@@ -28,10 +28,18 @@ let holds_partition table (fd : Fd.t) =
   in
   Partition.fd_holds ~lhs:p_lhs ~lhs_rhs:p_both
 
-let holds ?(engine = `Naive) table fd =
-  match engine with
-  | `Naive -> holds_naive table fd
-  | `Partition -> holds_partition table fd
+let holds_columnar table (fd : Fd.t) =
+  Column_store.fd_holds (Column_store.of_table table) ~lhs:fd.lhs ~rhs:fd.rhs
+
+let holds ?(engine = Engine.default) table fd =
+  match engine.Engine.check with
+  | Engine.Naive -> holds_naive table fd
+  | Engine.Partition -> holds_partition table fd
+  | Engine.Columnar ->
+      if Engine.cached engine then holds_columnar table fd
+      else
+        Column_store.fd_holds (Column_store.build table) ~lhs:fd.Fd.lhs
+          ~rhs:fd.Fd.rhs
 
 let error_rate table (fd : Fd.t) =
   let n = Table.cardinality table in

@@ -14,8 +14,15 @@ val holds_naive : Table.t -> Fd.t -> bool
 val holds_partition : Table.t -> Fd.t -> bool
 (** The TANE criterion [e(X) = e(X ∪ Y)] over stripped partitions. *)
 
-val holds : ?engine:[ `Naive | `Partition ] -> Table.t -> Fd.t -> bool
-(** Default engine: [`Naive]. *)
+val holds_columnar : Table.t -> Fd.t -> bool
+(** Check against the table's memoized {!Column_store}: the stripped
+    LHS partition and the verdict itself are cached, so repeated checks
+    after the first are O(1) until the table changes. *)
+
+val holds : ?engine:Engine.t -> Table.t -> Fd.t -> bool
+(** Dispatch on [engine.check] ({!Engine.default} — columnar with
+    shared caches — when omitted); [engine.cache = Cache_off] makes the
+    columnar path build a throwaway store. *)
 
 val error_rate : Table.t -> Fd.t -> float
 (** Fraction of rows that must be removed for the FD to hold

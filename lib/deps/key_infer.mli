@@ -15,8 +15,13 @@ open Relational
 
 type stats = { sets_tested : int; keys_found : int }
 
+val unique_over : ?engine:Engine.t -> Table.t -> string list -> bool
+(** SQL UNIQUE over the extension. Columnar engines (the default)
+    answer from the memoized column store — repeated probes of the same
+    levelwise search share dictionaries and witness counts. *)
+
 val minimal_unique_sets :
-  ?max_size:int -> Table.t -> string list list * stats
+  ?engine:Engine.t -> ?max_size:int -> Table.t -> string list list * stats
 (** All minimal attribute sets (size ≤ [max_size], default 3) that are
     unique over the extension, in SQL semantics: rows with a NULL in the
     set are skipped by the uniqueness check, but a set whose projection
@@ -24,13 +29,21 @@ val minimal_unique_sets :
     result is sorted by size then lexicographically. An empty table has
     no keys. Supersets of a found key are pruned, not tested. *)
 
-val suggest : ?max_size:int -> Database.t -> (string * string list list) list
+val suggest :
+  ?engine:Engine.t ->
+  ?max_size:int ->
+  Database.t ->
+  (string * string list list) list
 (** Per relation of the database, the discovered minimal unique sets —
     only for relations with {e no} declared unique constraint (declared
     keys need no suggestion). *)
 
 val apply_suggestions :
-  ?max_size:int -> confirm:(string -> string list -> bool) -> Database.t -> int
+  ?engine:Engine.t ->
+  ?max_size:int ->
+  confirm:(string -> string list -> bool) ->
+  Database.t ->
+  int
 (** For each suggestion accepted by [confirm rel attrs], declare the
     unique constraint on the relation (in place). Returns the number of
     constraints added. This is the expert-confirmed preamble for

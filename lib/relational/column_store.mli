@@ -1,0 +1,113 @@
+(** Dictionary-encoded columnar extension store with shared caches.
+
+    Every counting primitive of the paper — [||r[X]||] (§2), the
+    equi-join intersections of IND-Discovery (§6.1), the FD tests of
+    RHS-Discovery (§6.2.2), key inference — reduces to projections,
+    distinct sets and groupings over the same extension. This module
+    computes them over {e dense integer codes}: each attribute's values
+    are interned once into a dictionary (NULL holding the reserved code
+    0), and every derived structure — single/multi-column distinct sets,
+    TANE-style stripped partitions, FD verdicts, cross-table equi-join
+    counts — is memoized inside the store, keyed by attribute list.
+
+    The memoized store instance lives in the table's {!Table.ext}
+    cache slot, which every insert clears: cache invalidation is
+    structural, a store can never be observed stale. A fresh throwaway
+    store (cold cache) can be built with {!build}.
+
+    Equality semantics are identical to the row-based primitives
+    (structural equality on [Value.t], NULL skipped by distinct
+    counting, NULL = NULL for grouping), so the columnar engine agrees
+    verdict-for-verdict with [Table] / [Fd_infer] — property-tested by
+    the engine-equivalence suite. *)
+
+type t
+
+type column = private {
+  codes : int array;  (** per-row dictionary codes; 0 is NULL *)
+  dict : Value.t array;  (** code -> value; [dict.(0) = Null] *)
+  nulls : int;  (** number of NULL rows in the column *)
+}
+
+type partition = private {
+  groups : int array array;  (** equivalence classes of size ≥ 2 *)
+  p_rows : int;
+}
+(** Stripped partition over the encoded columns; rows holding NULL in
+    any of the partitioning attributes are dropped (the FD-check
+    exemption). *)
+
+type Table.ext += Store of t
+(** How the memoized instance is stashed in {!Table.ext_cache}. *)
+
+val of_table : Table.t -> t
+(** The memoized store for this table: reused until the next insert.
+    Building is O(1); columns are encoded on first use. *)
+
+val build : Table.t -> t
+(** A fresh private store ignoring (and not touching) the memo slot —
+    cold-cache measurements and short-lived tables. *)
+
+val table : t -> Table.t
+val table_version : t -> int
+(** {!Table.version} at store construction. *)
+
+val uid : t -> int
+(** Globally unique instance id — the cross-store component of
+    equi-join cache keys. *)
+
+val column : t -> string -> column
+(** Encode (or fetch) one attribute's column. Raises
+    [Invalid_argument] on an unknown attribute. *)
+
+val distinct_set : t -> string list -> (Value.t list, unit) Hashtbl.t
+(** Distinct NULL-free projections keyed exactly as
+    [Table.distinct_table] keys them — memoized; do not mutate. *)
+
+val count_distinct : t -> string list -> int
+(** [||r[X]||]. Single-attribute counts are read off the dictionary
+    with no row pass. *)
+
+val project_distinct : t -> string list -> Value.t list list
+
+val witness_count : t -> string list -> int
+(** Number of rows NULL-free on the given attributes. *)
+
+val unique : t -> string list -> bool
+(** SQL UNIQUE over the extension: all NULL-free rows distinct, and at
+    least one witness. *)
+
+val equijoin_distinct_count : t -> string list -> t -> string list -> int
+(** [||r1[x1] ⋈ r2[x2]||] by intersecting the two memoized distinct
+    sets (iterating the smaller). The count itself is memoized in the
+    left store, keyed by [(x1, uid r2, x2)] — a store rebuilt after an
+    insert has a fresh uid, so entries can never be served stale. *)
+
+val partition : t -> string list -> partition
+(** Memoized stripped partition on the given attributes (NULL-holding
+    rows dropped). *)
+
+val partition_error : partition -> int
+(** [Σ (|c| - 1)] over groups. *)
+
+val fd_holds : t -> lhs:string list -> rhs:string list -> bool
+(** Does [lhs -> rhs] hold on the extension? Computed by refining the
+    memoized [lhs] partition against the [rhs] code columns (NULL-LHS
+    rows exempt, NULL = NULL on the RHS — the naive engine's
+    semantics); the verdict is memoized per [(lhs, rhs)]. *)
+
+val group_rows : t -> string list -> (Value.t list, int list) Hashtbl.t
+(** Row indices grouped by projection with NULL as an ordinary value —
+    the [Table.group_rows] contract, computed over codes. Not memoized
+    (callers typically consume the grouping once). *)
+
+type stats = {
+  columns_encoded : int;
+  distinct_sets : int;
+  partitions : int;
+  fd_verdicts : int;
+  join_counts : int;
+}
+
+val stats : t -> stats
+(** Cache occupancy, for tests and instrumentation. *)

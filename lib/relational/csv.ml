@@ -177,7 +177,7 @@ let tuple_of_bindings rel ~row ~line bindings =
 
 let data_row_index ~header idx = if header then idx - 1 else idx
 
-let load_table ?(header = true) rel csv =
+let load_strict ~header rel csv =
   let name = rel.Relation.name in
   let rows, syntax_errors = scan csv in
   (match syntax_errors with
@@ -195,14 +195,14 @@ let load_table ?(header = true) rel csv =
               if not (Relation.has_attr rel h) then
                 Error.raisef ~relation:name ~attribute:h
                   ~severity:Error.Recoverable Error.Unknown_column
-                  "Csv.load_table(%s): unknown column %S" name h)
+                  "Csv.load(%s): unknown column %S" name h)
             hdr;
           List.iter
             (fun a ->
               if not (List.mem a hdr) then
                 Error.raisef ~relation:name ~attribute:a
                   ~severity:Error.Recoverable Error.Missing_column
-                  "Csv.load_table(%s): missing column %S" name a)
+                  "Csv.load(%s): missing column %S" name a)
             attrs;
           (hdr, rest)
     else (attrs, rows)
@@ -213,7 +213,7 @@ let load_table ?(header = true) rel csv =
       let ridx = data_row_index ~header idx in
       if List.length row <> width then
         Error.raisef ~relation:name ~severity:Error.Recoverable Error.Csv_arity
-          "Csv.load_table(%s): row %d (line %d): width %d, expected %d" name
+          "Csv.load(%s): row %d (line %d): width %d, expected %d" name
           ridx line (List.length row) width;
       match tuple_of_bindings rel ~row:ridx ~line (List.combine order row) with
       | Ok tuple -> Table.insert table tuple
@@ -221,7 +221,7 @@ let load_table ?(header = true) rel csv =
     data_rows;
   table
 
-let load_table_lenient ?(header = true) rel csv =
+let load_lenient ~header rel csv =
   let name = rel.Relation.name in
   let rows, syntax_errors = scan csv in
   let table = Table.create rel in
@@ -302,6 +302,34 @@ let load_table_lenient ?(header = true) rel csv =
     }
   in
   (table, report)
+
+let load ?(header = true) ?(mode = `Strict) rel csv =
+  match mode with
+  | `Strict -> (
+      match load_strict ~header rel csv with
+      | table -> Ok (table, None)
+      | exception Error.Error e -> Stdlib.Error e)
+  | `Quarantine ->
+      let table, report = load_lenient ~header rel csv in
+      Ok (table, if Quarantine.is_empty report then None else Some report)
+
+(* Deprecated pre-[load] entry points, kept as thin wrappers so existing
+   callers keep building. *)
+
+let load_table ?header rel csv =
+  match load ?header ~mode:`Strict rel csv with
+  | Ok (table, _) -> table
+  | Stdlib.Error e -> raise (Error.Error e)
+
+let load_table_lenient ?header rel csv =
+  match load ?header ~mode:`Quarantine rel csv with
+  | Ok (table, Some report) -> (table, report)
+  | Ok (table, None) ->
+      (* no quarantined tuple: reconstruct the all-clear report *)
+      let n = Table.cardinality table in
+      (table, { Quarantine.relation = rel.Relation.name;
+                total_rows = n; kept = n; entries = [] })
+  | Stdlib.Error e -> raise (Error.Error e)
 
 let dump_table ?(header = true) table =
   let rel = Table.schema table in

@@ -30,25 +30,42 @@ val parse_lenient : string -> string list list * syntax_error list
 val render : string list list -> string
 (** Inverse of {!parse} (up to quoting normalization). *)
 
-val load_table : ?header:bool -> Relation.t -> string -> Table.t
-(** [load_table rel csv] builds a table for [rel] from CSV text. With
+val load :
+  ?header:bool ->
+  ?mode:[ `Strict | `Quarantine ] ->
+  Relation.t ->
+  string ->
+  (Table.t * Quarantine.report option, Error.t) result
+(** [load rel csv] builds a table for [rel] from CSV text. With
     [~header:true] (default) the first row names the columns and they may
     appear in any order; without a header the columns must follow the
     declared attribute order. Fields are parsed through each attribute's
     declared domain ({!Domain.parse}); attributes with domain [Unknown]
-    use {!Value.parse}. Raises [Error.Error] with codes
-    {!Error.Csv_syntax}, {!Error.Unknown_column}, {!Error.Missing_column},
-    {!Error.Csv_arity} or {!Error.Type_mismatch}; messages carry the
-    0-based data-row index and 1-based source line. *)
+    use {!Value.parse}.
+
+    [~mode:`Strict] (default) stops at the first problem: [Error e] with
+    code {!Error.Csv_syntax}, {!Error.Unknown_column},
+    {!Error.Missing_column}, {!Error.Csv_arity} or
+    {!Error.Type_mismatch}; messages carry the 0-based data-row index and
+    1-based source line. On success the report is [None].
+
+    [~mode:`Quarantine] degrades gracefully and never fails: rows torn
+    by a syntax error, rows of the wrong width, and rows with an
+    ill-typed cell are dropped into the {!Quarantine.report} ([Some]
+    only when something was actually quarantined); undeclared header
+    columns are ignored and missing declared columns filled with NULL,
+    each reported as a table-level entry. The surviving extension is
+    what dependency discovery will run against. *)
+
+val load_table : ?header:bool -> Relation.t -> string -> Table.t
+(** @deprecated Thin wrapper over [load ~mode:`Strict] re-raising the
+    error as [Error.Error]. Use {!load}. *)
 
 val load_table_lenient :
   ?header:bool -> Relation.t -> string -> Table.t * Quarantine.report
-(** Graceful-degradation variant of {!load_table}: rows torn by a syntax
-    error, rows of the wrong width, and rows with an ill-typed cell are
-    dropped into the {!Quarantine.report}; undeclared header columns are
-    ignored and missing declared columns filled with NULL, each reported
-    as a table-level entry. The surviving extension is what dependency
-    discovery will run against. *)
+(** @deprecated Thin wrapper over [load ~mode:`Quarantine] that always
+    materializes a report (empty when nothing was quarantined). Use
+    {!load}. *)
 
 val dump_table : ?header:bool -> Table.t -> string
 (** Render a table's extension as CSV (header row by default). *)

@@ -31,10 +31,24 @@ let add_relation t r =
   Hashtbl.replace t.tables r.Relation.name (Table.create r)
 
 let cardinality t name = Table.cardinality (table t name)
-let count_distinct t name attrs = Table.count_distinct (table t name) attrs
 
-let join_count t (r1, x1) (r2, x2) =
-  Table.equijoin_distinct_count (table t r1) x1 (table t r2) x2
+let store_for engine tbl =
+  if Engine.cached engine then Column_store.of_table tbl
+  else Column_store.build tbl
+
+let count_distinct ?(engine = Engine.default) t name attrs =
+  let tbl = table t name in
+  match engine.Engine.check with
+  | Engine.Columnar -> Column_store.count_distinct (store_for engine tbl) attrs
+  | Engine.Naive | Engine.Partition -> Table.count_distinct tbl attrs
+
+let join_count ?(engine = Engine.default) t (r1, x1) (r2, x2) =
+  let t1 = table t r1 and t2 = table t r2 in
+  match engine.Engine.check with
+  | Engine.Columnar ->
+      Column_store.equijoin_distinct_count (store_for engine t1) x1
+        (store_for engine t2) x2
+  | Engine.Naive | Engine.Partition -> Table.equijoin_distinct_count t1 x1 t2 x2
 
 let total_tuples t =
   Hashtbl.fold (fun _ tbl acc -> acc + Table.cardinality tbl) t.tables 0

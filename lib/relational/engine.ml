@@ -1,0 +1,57 @@
+type check = Naive | Partition | Columnar
+type cache_policy = Cache_off | Cache_shared
+type parallelism = Sequential | Domains of int
+
+type t = { check : check; cache : cache_policy; parallelism : parallelism }
+
+let make ?(check = Columnar) ?(cache = Cache_shared)
+    ?(parallelism = Sequential) () =
+  { check; cache; parallelism }
+
+let default = make ()
+let naive = make ~check:Naive ~cache:Cache_off ()
+let partition = make ~check:Partition ~cache:Cache_off ()
+let columnar = make ()
+
+let parallel ?domains () =
+  let n =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Stdlib.Domain.recommended_domain_count ()
+  in
+  make ~parallelism:(if n <= 1 then Sequential else Domains n) ()
+
+let of_fd_variant = function
+  | `Naive -> naive
+  | `Partition -> partition
+
+let domain_count t =
+  match t.parallelism with Sequential -> 1 | Domains n -> max 1 n
+
+let cached t = match t.cache with Cache_shared -> true | Cache_off -> false
+
+let check_to_string = function
+  | Naive -> "naive"
+  | Partition -> "partition"
+  | Columnar -> "columnar"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "naive" -> Some naive
+  | "partition" -> Some partition
+  | "columnar" | "default" -> Some columnar
+  | "parallel" -> Some (parallel ())
+  | s when String.length s > 9 && String.sub s 0 9 = "parallel:" -> (
+      match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+      | Some n when n >= 1 -> Some (parallel ~domains:n ())
+      | _ -> None)
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "%s/%s/%s" (check_to_string t.check)
+    (match t.cache with Cache_shared -> "shared-cache" | Cache_off -> "no-cache")
+    (match t.parallelism with
+    | Sequential -> "sequential"
+    | Domains n -> Printf.sprintf "%d-domains" n)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,75 @@
+(** First-class extension-check engines.
+
+    Every counting primitive the paper issues against the extension —
+    [||r[X]||], [||r_k[A_k] ⋈ r_l[A_l]||], FD satisfaction, key checks —
+    can be answered by several interchangeable engines. An {!t} value
+    names the algorithm ({!check}), whether derived structures are
+    memoized per table ({!cache_policy}), and how much [Domain]-level
+    parallelism independent checks may use ({!parallelism}).
+
+    This record replaces the [[ `Naive | `Partition ]] polymorphic
+    variant that used to be duplicated across [Fd_infer.holds],
+    [Pipeline.config] and the bench call sites. It is pure data: the
+    dispatch lives with each primitive ([Fd_infer.holds],
+    [Database.count_distinct], [Ind_discovery.run], …), so the type can
+    sit at the bottom of the dependency stack. [Dbre.Engine] re-exports
+    this module for pipeline users. *)
+
+type check =
+  | Naive  (** row-at-a-time hashing over [Value.t] projections (seed) *)
+  | Partition  (** TANE stripped partitions for FD checks *)
+  | Columnar
+      (** dictionary-encoded columns ({!Column_store}): distinct sets,
+          partitions and verdicts over dense [int] codes *)
+
+type cache_policy =
+  | Cache_off  (** rebuild every derived structure per call *)
+  | Cache_shared
+      (** memoize the column store (and its distinct sets, partitions
+          and FD verdicts) per table, invalidated by inserts *)
+
+type parallelism =
+  | Sequential
+  | Domains of int  (** fan independent checks out over [n] domains *)
+
+type t = { check : check; cache : cache_policy; parallelism : parallelism }
+
+val make :
+  ?check:check -> ?cache:cache_policy -> ?parallelism:parallelism -> unit -> t
+(** Defaults: [Columnar], [Cache_shared], [Sequential] — i.e.
+    {!default}. *)
+
+val default : t
+(** [Columnar] with shared caches, sequential: the fastest
+    single-domain configuration, and the library-wide default. *)
+
+val naive : t
+(** The seed behavior: row hashing, no caching. The baseline engine. *)
+
+val partition : t
+(** Stripped-partition FD checks, row-based counts, no caching. *)
+
+val columnar : t
+(** Alias of {!default}. *)
+
+val parallel : ?domains:int -> unit -> t
+(** Columnar + shared caches + [Domains n]. [n] defaults to
+    [Stdlib.Domain.recommended_domain_count ()]; when that is 1 the
+    engine degrades to [Sequential]. *)
+
+val of_fd_variant : [ `Naive | `Partition ] -> t
+(** Migration helper for call sites still holding the retired
+    polymorphic variant. *)
+
+val domain_count : t -> int
+(** 1 for [Sequential]. *)
+
+val cached : t -> bool
+
+val of_string : string -> t option
+(** ["naive" | "partition" | "columnar" | "default" | "parallel" |
+    "parallel:<n>"] — CLI parsing. *)
+
+val check_to_string : check -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

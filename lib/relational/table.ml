@@ -1,13 +1,22 @@
+type ext = ..
+
 type t = {
   schema : Relation.t;
   mutable rev_rows : Tuple.t list;
   mutable size : int;
   mutable cache : Tuple.t array option;
+  mutable version : int;
+  mutable ext : ext option;
 }
 
-let create schema = { schema; rev_rows = []; size = 0; cache = None }
+let create schema =
+  { schema; rev_rows = []; size = 0; cache = None; version = 0; ext = None }
+
 let schema t = t.schema
 let cardinality t = t.size
+let version t = t.version
+let ext_cache t = t.ext
+let set_ext_cache t e = t.ext <- Some e
 
 let insert_tuple t tup =
   if Array.length tup <> Relation.arity t.schema then
@@ -17,7 +26,9 @@ let insert_tuple t tup =
          (Relation.arity t.schema));
   t.rev_rows <- tup :: t.rev_rows;
   t.size <- t.size + 1;
-  t.cache <- None
+  t.cache <- None;
+  t.version <- t.version + 1;
+  t.ext <- None
 
 let insert t values = insert_tuple t (Tuple.of_list values)
 let insert_many t rows = List.iter (insert t) rows

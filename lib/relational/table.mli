@@ -10,11 +10,28 @@
 
 type t
 
+type ext = ..
+(** Open slot for derived structures memoized against the extension
+    (e.g. {!Column_store.t}). The slot is cleared on every {!insert}, so
+    a stashed structure is valid exactly while it remains retrievable. *)
+
 val create : Relation.t -> t
 (** An empty table over the given schema. *)
 
 val schema : t -> Relation.t
 val cardinality : t -> int
+
+val version : t -> int
+(** Monotonic revision counter, bumped by every insert — usable as a
+    cache key component by structures derived from the extension. *)
+
+val ext_cache : t -> ext option
+(** The memoized derived structure, if one survived since the last
+    insert. *)
+
+val set_ext_cache : t -> ext -> unit
+(** Stash a derived structure; overwritten by later calls, dropped by
+    the next insert. *)
 
 val insert : t -> Value.t list -> unit
 (** Append one tuple. Raises [Invalid_argument] on an arity mismatch. No

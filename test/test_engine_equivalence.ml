@@ -1,0 +1,296 @@
+(* Randomized engine-equivalence suite: the naive, partition and
+   columnar engines must return identical verdicts for every primitive
+   they all implement — FD satisfaction, distinct counting, equi-join
+   distinct counting and key checks — including on NULL-heavy
+   extensions, and the columnar caches must never serve stale answers
+   after an insert.
+
+   Deterministic by construction: tables come from Workload.Rng streams
+   and the schema-level cases from Workload.Gen_schema, both seeded. *)
+
+open Helpers
+open Relational
+open Deps
+module Rng = Workload.Rng
+
+let engines =
+  [
+    ("naive", Engine.naive);
+    ("partition", Engine.partition);
+    ("columnar", Engine.columnar);
+    ("columnar-uncached", Engine.make ~cache:Engine.Cache_off ());
+    ("parallel:2", Engine.parallel ~domains:2 ());
+  ]
+
+(* random table over [attrs]: small value pools so duplicates, shared
+   projections and accidental dependencies are common; [null_rate]
+   cranks up the NULL density for the NULL-semantics cases *)
+let random_table rng ?(null_rate = 0.15) name attrs n_rows =
+  let cell rng i =
+    if Rng.chance rng null_rate then Value.Null
+    else if i mod 2 = 0 then Value.Int (Rng.int rng 4)
+    else Value.String (Rng.pick rng [ "x"; "y"; "z" ])
+  in
+  let rows =
+    List.init n_rows (fun _ -> List.mapi (fun i _ -> cell rng i) attrs)
+  in
+  table name attrs rows
+
+let random_subset rng attrs =
+  let k = Rng.int_in rng 1 (min 3 (List.length attrs)) in
+  List.sort String.compare (Rng.sample rng k attrs)
+
+let attrs5 = [ "a"; "b"; "c"; "d"; "e" ]
+
+(* ---------- holds ---------- *)
+
+let test_holds_agree () =
+  let rng = Rng.create 7L in
+  for round = 1 to 40 do
+    let null_rate = if round mod 2 = 0 then 0.4 else 0.1 in
+    let t = random_table rng ~null_rate "T" attrs5 (Rng.int_in rng 0 40) in
+    for _ = 1 to 6 do
+      let lhs = random_subset rng attrs5 in
+      let rest = List.filter (fun a -> not (List.mem a lhs)) attrs5 in
+      if rest <> [] then begin
+        let f = fd "T" lhs [ Rng.pick rng rest ] in
+        let expected = Fd_infer.holds ~engine:Engine.naive t f in
+        List.iter
+          (fun (name, engine) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "round %d: %s on %s" round name (Fd.to_string f))
+              expected
+              (Fd_infer.holds ~engine t f))
+          engines
+      end
+    done
+  done
+
+(* ---------- count_distinct ---------- *)
+
+let db_of t =
+  let rel = Table.schema t in
+  let db = Database.create (Schema.of_relations [ rel ]) in
+  Database.replace_table db t;
+  db
+
+let test_count_distinct_agree () =
+  let rng = Rng.create 11L in
+  for round = 1 to 40 do
+    let null_rate = if round mod 2 = 0 then 0.5 else 0.05 in
+    let t = random_table rng ~null_rate "T" attrs5 (Rng.int_in rng 0 50) in
+    let db = db_of t in
+    for _ = 1 to 4 do
+      let attrs = random_subset rng attrs5 in
+      let expected = Database.count_distinct ~engine:Engine.naive db "T" attrs in
+      List.iter
+        (fun (name, engine) ->
+          Alcotest.(check int)
+            (Printf.sprintf "round %d: ||T[%s]|| via %s" round
+               (String.concat "," attrs) name)
+            expected
+            (Database.count_distinct ~engine db "T" attrs))
+        engines
+    done
+  done
+
+(* ---------- equijoin_distinct_count ---------- *)
+
+let test_join_count_agree () =
+  let rng = Rng.create 13L in
+  let attrs_l = [ "a"; "b"; "c" ] and attrs_r = [ "u"; "v"; "w"; "x" ] in
+  for round = 1 to 40 do
+    let null_rate = if round mod 2 = 0 then 0.4 else 0.1 in
+    let t1 = random_table rng ~null_rate "L" attrs_l (Rng.int_in rng 0 40) in
+    let t2 = random_table rng ~null_rate "R" attrs_r (Rng.int_in rng 0 40) in
+    let schema = Schema.of_relations [ Table.schema t1; Table.schema t2 ] in
+    let db = Database.create schema in
+    Database.replace_table db t1;
+    Database.replace_table db t2;
+    for _ = 1 to 4 do
+      let k = Rng.int_in rng 1 2 in
+      let a1 = Rng.sample rng k attrs_l and a2 = Rng.sample rng k attrs_r in
+      let expected =
+        Database.join_count ~engine:Engine.naive db ("L", a1) ("R", a2)
+      in
+      List.iter
+        (fun (name, engine) ->
+          Alcotest.(check int)
+            (Printf.sprintf "round %d: ||L[%s] ⋈ R[%s]|| via %s" round
+               (String.concat "," a1) (String.concat "," a2) name)
+            expected
+            (Database.join_count ~engine db ("L", a1) ("R", a2)))
+        engines
+    done
+  done
+
+(* ---------- key checks ---------- *)
+
+let test_unique_agree () =
+  let rng = Rng.create 17L in
+  for round = 1 to 30 do
+    let t = random_table rng ~null_rate:0.2 "T" attrs5 (Rng.int_in rng 0 30) in
+    let attrs = random_subset rng attrs5 in
+    let expected = Key_infer.unique_over ~engine:Engine.naive t attrs in
+    List.iter
+      (fun (name, engine) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d: unique(%s) via %s" round
+             (String.concat "," attrs) name)
+          expected
+          (Key_infer.unique_over ~engine t attrs))
+      engines
+  done
+
+(* ---------- cache invalidation ---------- *)
+
+(* the memoized store must never serve a pre-insert answer: query
+   through the cached columnar engine, mutate the table, query again
+   and compare with a cache-less naive recomputation *)
+let test_cache_invalidation () =
+  let rng = Rng.create 23L in
+  for round = 1 to 30 do
+    let t = random_table rng ~null_rate:0.3 "T" attrs5 (Rng.int_in rng 1 30) in
+    let db = db_of t in
+    let attrs = random_subset rng attrs5 in
+    let f = fd "T" [ List.hd attrs5 ] [ List.nth attrs5 1 ] in
+    (* warm every cache layer: distinct set, partition, verdict *)
+    ignore (Database.count_distinct db "T" attrs);
+    ignore (Fd_infer.holds t f);
+    ignore (Key_infer.unique_over t attrs);
+    (* mutate: either a brand-new row or a duplicate of an existing one *)
+    let row =
+      if Rng.bool rng then
+        List.mapi
+          (fun i _ -> if i mod 2 = 0 then Value.Int (Rng.int rng 4) else Value.Null)
+          attrs5
+      else List.nth (Table.to_lists t) (Rng.int rng (Table.cardinality t))
+    in
+    Database.insert db "T" row;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: count after insert" round)
+      (Database.count_distinct ~engine:Engine.naive db "T" attrs)
+      (Database.count_distinct db "T" attrs);
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: holds after insert" round)
+      (Fd_infer.holds ~engine:Engine.naive t f)
+      (Fd_infer.holds t f);
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: unique after insert" round)
+      (Key_infer.unique_over ~engine:Engine.naive t attrs)
+      (Key_infer.unique_over t attrs)
+  done
+
+(* cross-store staleness: the join-count cache keys on the peer store's
+   identity, so a peer insert must invalidate the pair *)
+let test_join_cache_invalidation () =
+  let rng = Rng.create 29L in
+  for round = 1 to 20 do
+    let t1 = random_table rng ~null_rate:0.2 "L" [ "a"; "b" ] 15 in
+    let t2 = random_table rng ~null_rate:0.2 "R" [ "u"; "v" ] 15 in
+    let schema = Schema.of_relations [ Table.schema t1; Table.schema t2 ] in
+    let db = Database.create schema in
+    Database.replace_table db t1;
+    Database.replace_table db t2;
+    ignore (Database.join_count db ("L", [ "a" ]) ("R", [ "u" ]));
+    Database.insert db "R" [ Value.Int (Rng.int rng 4); Value.Null ];
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: join count after peer insert" round)
+      (Database.join_count ~engine:Engine.naive db ("L", [ "a" ]) ("R", [ "u" ]))
+      (Database.join_count db ("L", [ "a" ]) ("R", [ "u" ]))
+  done
+
+(* ---------- schema-scale: Gen_schema workloads ---------- *)
+
+(* every planted dependency and every navigation equi-join of a small
+   synthetic workload gets the same verdict from all engines *)
+let test_generated_workload_agree () =
+  List.iter
+    (fun seed ->
+      let spec =
+        {
+          Workload.Gen_schema.default_spec with
+          Workload.Gen_schema.seed;
+          rows_per_entity = 40;
+          rows_per_denorm = 80;
+          null_ref_rate = 0.3;
+        }
+      in
+      let g = Workload.Gen_schema.generate spec in
+      let db = g.Workload.Gen_schema.db in
+      List.iter
+        (fun (f : Fd.t) ->
+          let t = Database.table db f.Fd.rel in
+          let expected = Fd_infer.holds ~engine:Engine.naive t f in
+          List.iter
+            (fun (name, engine) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s via %s" (Fd.to_string f) name)
+                expected
+                (Fd_infer.holds ~engine t f))
+            engines)
+        g.Workload.Gen_schema.truth.Workload.Gen_schema.planted_fds;
+      List.iter
+        (fun (j : Sqlx.Equijoin.t) ->
+          let left = (j.Sqlx.Equijoin.rel1, j.Sqlx.Equijoin.attrs1) in
+          let right = (j.Sqlx.Equijoin.rel2, j.Sqlx.Equijoin.attrs2) in
+          let n l = Database.count_distinct ~engine:Engine.naive db (fst l) (snd l) in
+          let nj = Database.join_count ~engine:Engine.naive db left right in
+          List.iter
+            (fun (name, engine) ->
+              Alcotest.(check int)
+                (Printf.sprintf "n_left of %s via %s" (Sqlx.Equijoin.to_string j)
+                   name)
+                (n left)
+                (Database.count_distinct ~engine db (fst left) (snd left));
+              Alcotest.(check int)
+                (Printf.sprintf "n_join of %s via %s" (Sqlx.Equijoin.to_string j)
+                   name)
+                nj
+                (Database.join_count ~engine db left right))
+            engines)
+        g.Workload.Gen_schema.equijoins)
+    [ 3L; 101L ]
+
+(* the full IND-Discovery stage returns the identical elicitation,
+   whatever the engine (including the parallel warm path) *)
+let test_ind_discovery_agree () =
+  let spec =
+    {
+      Workload.Gen_schema.default_spec with
+      Workload.Gen_schema.seed = 55L;
+      rows_per_entity = 30;
+      rows_per_denorm = 60;
+      null_ref_rate = 0.2;
+    }
+  in
+  let run engine =
+    let g = Workload.Gen_schema.generate spec in
+    let r =
+      Dbre.Ind_discovery.run ~engine Dbre.Oracle.automatic
+        g.Workload.Gen_schema.db g.Workload.Gen_schema.equijoins
+    in
+    r.Dbre.Ind_discovery.inds
+  in
+  let expected = run Engine.naive in
+  List.iter
+    (fun (name, engine) ->
+      check_sorted_inds (Printf.sprintf "INDs via %s" name) expected
+        (run engine))
+    engines
+
+let suite =
+  [
+    Alcotest.test_case "holds agrees across engines" `Quick test_holds_agree;
+    Alcotest.test_case "count_distinct agrees" `Quick test_count_distinct_agree;
+    Alcotest.test_case "join_count agrees" `Quick test_join_count_agree;
+    Alcotest.test_case "unique_over agrees" `Quick test_unique_agree;
+    Alcotest.test_case "insert invalidates caches" `Quick
+      test_cache_invalidation;
+    Alcotest.test_case "peer insert invalidates join cache" `Quick
+      test_join_cache_invalidation;
+    Alcotest.test_case "generated workloads agree" `Quick
+      test_generated_workload_agree;
+    Alcotest.test_case "ind-discovery agrees (incl. parallel)" `Quick
+      test_ind_discovery_agree;
+  ]

@@ -44,7 +44,8 @@ let test_holds_results () =
   Alcotest.(check bool) "a->b" true (Fd_infer.holds t (fd "T" [ "a" ] [ "b" ]));
   Alcotest.(check bool) "a->c" false (Fd_infer.holds t (fd "T" [ "a" ] [ "c" ]));
   Alcotest.(check bool) "c unique determines all" true
-    (Fd_infer.holds ~engine:`Partition t (fd "T" [ "c" ] [ "a"; "b"; "d" ]))
+    (Fd_infer.holds ~engine:Relational.Engine.partition t
+       (fd "T" [ "c" ] [ "a"; "b"; "d" ]))
 
 let test_error_rate () =
   let t = sample () in

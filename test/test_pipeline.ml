@@ -107,7 +107,7 @@ let test_partition_engine_agrees () =
       {
         Pipeline.default_config with
         Pipeline.oracle = Workload.Paper_example.oracle ();
-        fd_engine = engine;
+        engine;
         migrate_data = false;
       }
     in
@@ -115,7 +115,10 @@ let test_partition_engine_agrees () =
        (Pipeline.Equijoins (Workload.Paper_example.equijoins ())))
       .Pipeline.rhs_result.Rhs_discovery.fds
   in
-  check_sorted_fds "engines agree on F" (run `Naive) (run `Partition)
+  check_sorted_fds "engines agree on F" (run Dbre.Engine.naive)
+    (run Dbre.Engine.partition);
+  check_sorted_fds "columnar agrees on F" (run Dbre.Engine.naive)
+    (run Dbre.Engine.columnar)
 
 let test_no_migration_config () =
   let db = Workload.Paper_example.database () in
@@ -123,7 +126,7 @@ let test_no_migration_config () =
     {
       Pipeline.default_config with
       Pipeline.oracle = Workload.Paper_example.oracle ();
-      fd_engine = `Naive;
+      engine = Dbre.Engine.naive;
       migrate_data = false;
     }
   in

@@ -131,7 +131,12 @@ let test_engines_agree () =
        ~lhs:[ cand "W" "ref" ] ~hidden:[])
       .Rhs_discovery.fds
   in
-  check_sorted_fds "naive = partition" (for_engine `Naive) (for_engine `Partition)
+  check_sorted_fds "naive = partition"
+    (for_engine Relational.Engine.naive)
+    (for_engine Relational.Engine.partition);
+  check_sorted_fds "naive = columnar"
+    (for_engine Relational.Engine.naive)
+    (for_engine Relational.Engine.columnar)
 
 let suite =
   [
