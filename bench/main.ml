@@ -727,10 +727,114 @@ let b11 () =
         (pretty_time ((Unix.gettimeofday () -. t0) *. 1e9)))
     [ 1; 2; 4 ]
 
+(* ------------------------------------------------------------------ *)
+(* B12: lint throughput - the diagnostics engine on growing workloads   *)
+(* ------------------------------------------------------------------ *)
+
+(* clean hospital-shaped navigation queries, varied by a literal so the
+   lexer/parser sees fresh text on every statement *)
+let b12_templates =
+  [|
+    (fun i ->
+      Printf.sprintf "SELECT name, born FROM Patient WHERE pat_no = %d" i);
+    (fun i ->
+      Printf.sprintf
+        "SELECT name, ward FROM Patient p, Admission a WHERE p.hosp_code = \
+         a.hosp_code AND p.pat_no = a.pat_no AND a.bed = %d"
+        i);
+    (fun i ->
+      Printf.sprintf
+        "SELECT drug_name, dose FROM Treatment t, Admission a WHERE \
+         t.hosp_code = a.hosp_code AND t.pat_no = a.pat_no AND t.adm_date = \
+         a.adm_date AND t.dose = %d"
+        i);
+    (fun i ->
+      Printf.sprintf
+        "SELECT s.name FROM Admission a, Staff s WHERE a.ward = s.ward_code \
+         AND a.bed = %d"
+        i);
+  |]
+
+let b12_program n =
+  let buf = Buffer.create (n * 160) in
+  Buffer.add_string buf "       PROCEDURE DIVISION.\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf "           EXEC SQL\n             ";
+    Buffer.add_string buf (b12_templates.(i mod Array.length b12_templates) i);
+    Buffer.add_string buf "\n           END-EXEC.\n"
+  done;
+  Buffer.contents buf
+
+let b12 () =
+  section "B12: lint throughput - workload rules on 10/100/1000-query programs";
+  let hospital = Workload.Scenarios.hospital in
+  let schema =
+    Database.schema (hospital.Workload.Scenarios.database ())
+  in
+  let lint_program text =
+    Dbre_lint.Lint.run ~schema
+      [ Dbre_lint.Lint.source ~name:"prog" Dbre_lint.Lint.Program text ]
+  in
+  let sizes = if !smoke then [ 10; 100 ] else [ 10; 100; 1_000 ] in
+  let tests =
+    List.map
+      (fun n ->
+        let text = b12_program n in
+        (* the corpus is clean by construction; a diagnostic here means
+           the generator and the rules disagree *)
+        assert ((lint_program text).Dbre_lint.Lint.diags = []);
+        Test.make
+          ~name:(Printf.sprintf "lint %4d queries" n)
+          (Staged.stage (fun () -> ignore (lint_program text))))
+      sizes
+  in
+  let rows = run_group (Test.make_grouped ~name:"b12" tests) in
+  (* rows are name-sorted and the %4d names sort by size *)
+  if List.length rows = List.length sizes then
+    List.iter2
+      (fun n (_, ns) ->
+        if ns > 0.0 then
+          Printf.printf
+            "  throughput at %4d queries: %9.0f queries/s (target: >= 10k)\n"
+            n
+            (float_of_int n /. (ns /. 1e9)))
+      sizes rows;
+  (* lint as a fraction of the full hospital pipeline it gates *)
+  let programs = hospital.Workload.Scenarios.programs in
+  let config =
+    {
+      Dbre.Pipeline.default_config with
+      Dbre.Pipeline.oracle = hospital.Workload.Scenarios.oracle ();
+    }
+  in
+  let db = hospital.Workload.Scenarios.database () in
+  let t0 = Unix.gettimeofday () in
+  ignore (Dbre.Pipeline.run ~config db (Dbre.Pipeline.Programs programs));
+  let pipeline_s = Unix.gettimeofday () -. t0 in
+  let sources =
+    List.mapi
+      (fun i p ->
+        Dbre_lint.Lint.source
+          ~name:(Printf.sprintf "prog%02d" i)
+          Dbre_lint.Lint.Program p)
+      programs
+  in
+  let reps = if !smoke then 1 else 50 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Dbre_lint.Lint.run ~schema sources)
+  done;
+  let lint_s = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  if pipeline_s > 0.0 then
+    Printf.printf
+      "  lint cost vs full hospital pipeline: %.3f%% (target: < 2%%)\n"
+      (lint_s /. pipeline_s *. 100.0)
+
 let all_benches =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
+    ("b12", b12);
   ]
 
 let () =

@@ -5,6 +5,7 @@
      analyze   run the pipeline on a DDL script + CSV extension + programs
      inds      stop after IND-Discovery
      discover  exhaustive FD/IND discovery baselines
+     lint      span-carrying diagnostics over schemas/workloads/artifacts
      generate  emit a synthetic workload to a directory *)
 
 open Cmdliner
@@ -227,9 +228,59 @@ let programs_arg =
   let doc = "Directory of application-program sources to scan." in
   Arg.(required & opt (some dir) None & info [ "programs" ] ~docv:"DIR" ~doc)
 
+let lint_hooks_arg =
+  let doc =
+    "Install the linter as pipeline pre/post hooks: workload diagnostics \
+     (L1xx) are printed before extraction and artifact verification \
+     diagnostics (L2xx) after Translate."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
+(* the pre/post pipeline hooks the --lint flag installs: diagnostics go
+   to stderr and never abort the run *)
+let lint_pre_hook db input =
+  let schema = Database.schema db in
+  let sources =
+    match (input : Dbre.Pipeline.input) with
+    | Dbre.Pipeline.Equijoins _ -> []
+    | Dbre.Pipeline.Programs progs ->
+        List.mapi
+          (fun i p ->
+            Dbre_lint.Lint.source
+              ~name:(Printf.sprintf "prog%02d" i)
+              Dbre_lint.Lint.Program p)
+          progs
+    | Dbre.Pipeline.Sql_scripts scripts ->
+        List.mapi
+          (fun i p ->
+            Dbre_lint.Lint.source
+              ~name:(Printf.sprintf "script%02d" i)
+              Dbre_lint.Lint.Sql_script p)
+          scripts
+  in
+  let report = Dbre_lint.Lint.run ~schema sources in
+  if report.Dbre_lint.Lint.diags <> [] then
+    Format.eprintf "--- lint (workload) ---@.%s"
+      (Dbre_lint.Lint.render_text report)
+
+let lint_post_hook result =
+  let report = Dbre_lint.Lint.verify result in
+  if report.Dbre_lint.Lint.diags <> [] then
+    Format.eprintf "--- lint (verification) ---@.%s"
+      (Dbre_lint.Lint.render_text report)
+
+let with_lint_hooks lint config =
+  if not lint then config
+  else
+    {
+      config with
+      Dbre.Pipeline.pre_hook = Some lint_pre_hook;
+      post_hook = Some lint_post_hook;
+    }
+
 let analyze_cmd =
-  let run ddl data programs oracle engine lenient checkpoint_dir resume dot
-      markdown =
+  let run ddl data programs oracle engine lenient lint checkpoint_dir resume
+      dot markdown =
     match (parse_oracle oracle, parse_engine engine) with
     | Error msg, _ | _, Error msg ->
         prerr_endline msg;
@@ -246,12 +297,13 @@ let analyze_cmd =
           in
           print_quarantine quarantine;
           let config =
-            {
-              Dbre.Pipeline.default_config with
-              Dbre.Pipeline.oracle;
-              engine;
-              on_bad_tuple = (if lenient then `Quarantine else `Fail);
-            }
+            with_lint_hooks lint
+              {
+                Dbre.Pipeline.default_config with
+                Dbre.Pipeline.oracle;
+                engine;
+                on_bad_tuple = (if lenient then `Quarantine else `Fail);
+              }
           in
           let resume_from = if resume then checkpoint_dir else None in
           match
@@ -271,7 +323,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ engine_arg
-      $ lenient_arg $ checkpoint_arg $ resume_arg $ dot_arg $ markdown_arg)
+      $ lenient_arg $ lint_hooks_arg $ checkpoint_arg $ resume_arg $ dot_arg
+      $ markdown_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inds                                                                 *)
@@ -449,6 +502,185 @@ let migrate_cmd =
       $ lenient_arg $ out_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_lint_sources (s : Workload.Scenarios.t) =
+  let schema = Database.schema (s.Workload.Scenarios.database ()) in
+  let sources =
+    List.mapi
+      (fun i p ->
+        Dbre_lint.Lint.source
+          ~name:(Printf.sprintf "%s/prog%02d" s.Workload.Scenarios.name i)
+          Dbre_lint.Lint.Program p)
+      s.Workload.Scenarios.programs
+  in
+  (schema, sources)
+
+let lint_scenario s =
+  let schema, sources = scenario_lint_sources s in
+  let workload = Dbre_lint.Lint.run ~schema sources in
+  Dbre_lint.Lint.merge workload
+    {
+      Dbre_lint.Lint.empty with
+      Dbre_lint.Lint.diags = Dbre_lint.Rules_schema.check_schema schema;
+    }
+
+let lint_cmd =
+  let scenario_arg =
+    let doc =
+      "Lint a built-in scenario ('paper', 'payroll', 'hospital') instead of \
+       --ddl/--programs; 'all' lints the whole examples corpus."
+    in
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let ddl_arg =
+    let doc = "SQL DDL script to check with the schema rules (L0xx)." in
+    Arg.(value & opt (some file) None & info [ "ddl" ] ~docv:"FILE" ~doc)
+  in
+  let programs_arg =
+    let doc =
+      "Directory of application programs to check with the workload rules \
+       (L1xx)."
+    in
+    Arg.(value & opt (some dir) None & info [ "programs" ] ~docv:"DIR" ~doc)
+  in
+  let data_arg =
+    let doc =
+      "Directory of <relation>.csv extensions — required by --verify when \
+       not linting a scenario."
+    in
+    Arg.(value & opt (some dir) None & info [ "data" ] ~docv:"DIR" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of human text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Also run the pipeline and check its artifacts with the verification \
+       rules (L2xx): 3NF after Restruct, key-based RICs, no dangling INDs, \
+       well-formed EER."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let fail_on_arg =
+    let doc =
+      "Exit non-zero when a diagnostic of this severity (or worse) is \
+       reported: 'info', 'warning' or 'error'."
+    in
+    Arg.(value & opt string "error" & info [ "fail-on" ] ~docv:"SEVERITY" ~doc)
+  in
+  let verify_pipeline ~config db programs =
+    match
+      Dbre.Pipeline.run_checked ~config db (Dbre.Pipeline.Programs programs)
+    with
+    | Ok result -> Ok (Dbre_lint.Lint.verify result)
+    | Error p -> Stdlib.Error p
+  in
+  let run scenario ddl programs data json verify fail_on =
+    match Dbre_lint.Diagnostic.severity_of_string fail_on with
+    | None ->
+        Printf.eprintf "unknown severity %S (use info|warning|error)\n" fail_on;
+        1
+    | Some fail_on -> (
+        handle_errors @@ fun () ->
+        let finish report =
+          if json then print_string (Dbre_lint.Lint.render_json report)
+          else print_string (Dbre_lint.Lint.render_text report);
+          if json then print_newline ();
+          if Dbre_lint.Lint.should_fail ~fail_on report then 1 else 0
+        in
+        match (scenario, ddl) with
+        | Some name, _ -> (
+            let scenarios =
+              if name = "all" then Some Workload.Scenarios.all
+              else
+                Option.map (fun s -> [ s ]) (Workload.Scenarios.find name)
+            in
+            match scenarios with
+            | None ->
+                Printf.eprintf "unknown scenario %S (try: all, %s)\n" name
+                  (String.concat ", "
+                     (List.map
+                        (fun s -> s.Workload.Scenarios.name)
+                        Workload.Scenarios.all));
+                1
+            | Some scenarios ->
+                let static =
+                  List.fold_left
+                    (fun acc s -> Dbre_lint.Lint.merge acc (lint_scenario s))
+                    Dbre_lint.Lint.empty scenarios
+                in
+                if not verify then finish static
+                else
+                  let rec verify_all acc = function
+                    | [] -> finish acc
+                    | s :: rest -> (
+                        let db = s.Workload.Scenarios.database () in
+                        let config =
+                          {
+                            Dbre.Pipeline.default_config with
+                            Dbre.Pipeline.oracle = s.Workload.Scenarios.oracle ();
+                          }
+                        in
+                        match
+                          verify_pipeline ~config db
+                            s.Workload.Scenarios.programs
+                        with
+                        | Ok r -> verify_all (Dbre_lint.Lint.merge acc r) rest
+                        | Stdlib.Error p -> report_partial p)
+                  in
+                  verify_all static scenarios)
+        | None, Some ddl_path -> (
+            let sources =
+              Dbre_lint.Lint.source ~name:(Filename.basename ddl_path)
+                Dbre_lint.Lint.Schema_script (read_file ddl_path)
+              ::
+              (match programs with
+              | None -> []
+              | Some dir ->
+                  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+                  |> List.map (fun f ->
+                         Dbre_lint.Lint.source ~name:f Dbre_lint.Lint.Program
+                           (read_file (Filename.concat dir f))))
+            in
+            let static = Dbre_lint.Lint.run sources in
+            match (verify, data) with
+            | false, _ -> finish static
+            | true, None ->
+                prerr_endline "--verify without --scenario requires --data";
+                1
+            | true, Some data_dir -> (
+                let db, _ =
+                  load_database ~ddl_path ~data_dir ()
+                in
+                let progs =
+                  match programs with
+                  | None -> []
+                  | Some dir -> load_programs dir
+                in
+                match
+                  verify_pipeline ~config:Dbre.Pipeline.default_config db progs
+                with
+                | Ok r -> finish (Dbre_lint.Lint.merge static r)
+                | Stdlib.Error p -> report_partial p))
+        | None, None ->
+            prerr_endline "lint: give --scenario NAME|all or --ddl FILE";
+            1)
+  in
+  let doc =
+    "Statically check schemas (L0xx), embedded-SQL workloads (L1xx) and — \
+     with --verify — pipeline artifacts (L2xx), reporting span-carrying \
+     diagnostics."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ scenario_arg $ ddl_arg $ programs_arg $ data_arg $ json_arg
+      $ verify_arg $ fail_on_arg)
+
+(* ------------------------------------------------------------------ *)
 (* generate                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -521,5 +753,5 @@ let () =
        (Cmd.group info
           [
             example_cmd; analyze_cmd; inds_cmd; discover_cmd; migrate_cmd;
-            generate_cmd;
+            lint_cmd; generate_cmd;
           ]))

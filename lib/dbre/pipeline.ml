@@ -11,17 +11,11 @@ type config = {
   engine : Engine.t;
   migrate_data : bool;
   on_bad_tuple : [ `Fail | `Quarantine ];
+  pre_hook : (Database.t -> input -> unit) option;
+  post_hook : (result -> unit) option;
 }
 
-let default_config =
-  {
-    oracle = Oracle.automatic;
-    engine = Engine.default;
-    migrate_data = true;
-    on_bad_tuple = `Fail;
-  }
-
-type result = {
+and result = {
   equijoins : Sqlx.Equijoin.t list;
   ind_result : Ind_discovery.result;
   lhs_result : Lhs_discovery.result;
@@ -31,6 +25,16 @@ type result = {
   events : Oracle.event list;
   quarantine : Quarantine.report list;
 }
+
+let default_config =
+  {
+    oracle = Oracle.automatic;
+    engine = Engine.default;
+    migrate_data = true;
+    on_bad_tuple = `Fail;
+    pre_hook = None;
+    post_hook = None;
+  }
 
 type partial = {
   p_equijoins : Sqlx.Equijoin.t list option;
@@ -115,6 +119,7 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
   in
   match
     stage_run Error.Extract no_ckpt no_write (fun () ->
+        (match config.pre_hook with Some h -> h db input | None -> ());
         extract_equijoins db input)
   with
   | Stdlib.Error e -> Stdlib.Error (partial e)
@@ -184,8 +189,8 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
                             (partial ~equijoins ~ind:ind_result
                                ~lhs:lhs_result ~rhs:rhs_result
                                ~restruct:restruct_result e)
-                      | Ok translate_result ->
-                          Ok
+                      | Ok translate_result -> (
+                          let result =
                             {
                               equijoins;
                               ind_result;
@@ -195,7 +200,18 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
                               translate_result;
                               events = events ();
                               quarantine;
-                            })))))
+                            }
+                          in
+                          match config.post_hook with
+                          | None -> Ok result
+                          | Some h -> (
+                              match wrap Error.Translate (fun () -> h result) with
+                              | Ok () -> Ok result
+                              | Stdlib.Error e ->
+                                  Stdlib.Error
+                                    (partial ~equijoins ~ind:ind_result
+                                       ~lhs:lhs_result ~rhs:rhs_result
+                                       ~restruct:restruct_result e))))))))
 
 let run ?config ?quarantine ?checkpoint_dir ?resume_from db input =
   match run_checked ?config ?quarantine ?checkpoint_dir ?resume_from db input with

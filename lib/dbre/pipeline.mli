@@ -33,13 +33,18 @@ type config = {
   migrate_data : bool;  (** populate the restructured database *)
   on_bad_tuple : [ `Fail | `Quarantine ];
       (** what {!load_extension} does with unparseable tuples *)
+  pre_hook : (Database.t -> input -> unit) option;
+      (** called with the inputs before the first stage (under the
+          [Extract] error boundary) — e.g. a lint gate over the schema
+          and workload; raising [Error.Error] aborts the run with a
+          typed partial result *)
+  post_hook : (result -> unit) option;
+      (** called with the completed result before it is returned (under
+          the [Translate] error boundary) — e.g. verification linting of
+          the produced artifacts *)
 }
 
-val default_config : config
-(** {!Oracle.automatic}, {!Engine.default} (memoized columnar,
-    sequential), data migration on, strict ([`Fail]) tuple handling. *)
-
-type result = {
+and result = {
   equijoins : Sqlx.Equijoin.t list;  (** the [Q] actually analyzed *)
   ind_result : Ind_discovery.result;
   lhs_result : Lhs_discovery.result;
@@ -51,6 +56,11 @@ type result = {
       (** per-table reports from lenient loading (threaded through
           [?quarantine]); empty for strict runs *)
 }
+
+val default_config : config
+(** {!Oracle.automatic}, {!Engine.default} (memoized columnar,
+    sequential), data migration on, strict ([`Fail]) tuple handling,
+    no hooks. *)
 
 type partial = {
   p_equijoins : Sqlx.Equijoin.t list option;

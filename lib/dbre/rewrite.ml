@@ -170,7 +170,7 @@ and rewrite_select plan (s : Ast.select) =
           joins
       in
       match target_join with
-      | Some j -> { Ast.tbl = Some j.fresh; col = c.Ast.col }
+      | Some j -> { c with Ast.tbl = Some j.fresh }
       | None -> (
           (* the added joins can make previously-unambiguous unqualified
              columns ambiguous (the split relation repeats the join
@@ -180,7 +180,7 @@ and rewrite_select plan (s : Ast.select) =
           | None -> (
               match resolve_entry plan s.Ast.from c with
               | Some entry ->
-                  { Ast.tbl = Some (alias_of entry); col = c.Ast.col }
+                  { c with Ast.tbl = Some (alias_of entry) }
               | None -> c))
     in
     let fix_agg = function
@@ -221,8 +221,8 @@ and rewrite_select plan (s : Ast.select) =
             (fun a ->
               Ast.Cmp
                 ( Ast.Eq,
-                  Ast.Col { Ast.tbl = Some j.entry_alias; col = a },
-                  Ast.Col { Ast.tbl = Some j.fresh; col = a } ))
+                  Ast.Col (Ast.column ~tbl:j.entry_alias a),
+                  Ast.Col (Ast.column ~tbl:j.fresh a) ))
             j.split.lhs)
         joins
     in
@@ -239,7 +239,7 @@ and rewrite_select plan (s : Ast.select) =
       from =
         s.Ast.from
         @ List.map
-            (fun j -> { Ast.rel = j.split.target; alias = Some j.fresh })
+            (fun j -> Ast.table_ref ~alias:j.fresh j.split.target)
             joins;
       where;
       group_by = List.map fix_col s.Ast.group_by;

@@ -1,0 +1,56 @@
+(** Dbre_lint entry point: run rule families over sources and artifacts,
+    collate and render reports.
+
+    Typical use:
+    {[
+      let report =
+        Lint.run
+          [ Lint.source ~name:"schema.sql" Lint.Schema_script ddl;
+            Lint.source ~name:"app.cob" Lint.Program cobol_text ]
+      in
+      print_string (Lint.render_text report);
+      exit (if Lint.should_fail ~fail_on:Diagnostic.Error report then 1 else 0)
+    ]} *)
+
+open Relational
+
+type kind =
+  | Schema_script  (** DDL text: schema rules [L0xx] *)
+  | Program  (** host program: embedded-SQL workload rules [L1xx] *)
+  | Sql_script  (** plain SQL text: workload rules [L1xx] *)
+
+type source = { src_name : string; src_kind : kind; src_text : string }
+
+val source : name:string -> kind -> string -> source
+
+type report = {
+  diags : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
+  sources : (string * string) list;  (** name → text, for excerpts *)
+}
+
+val empty : report
+
+val run : ?schema:Schema.t -> source list -> report
+(** Check every source. The dictionary the workload rules resolve
+    against is [schema] when given, otherwise it is built from the
+    [Schema_script] sources (leniently: relations whose DDL is itself
+    broken are skipped — their defects are already reported by the
+    schema rules). *)
+
+val verify : Dbre.Pipeline.result -> report
+(** The [L2xx] verification rules over a completed pipeline run. *)
+
+val merge : report -> report -> report
+
+val max_severity : report -> Diagnostic.severity option
+
+val should_fail : fail_on:Diagnostic.severity -> report -> bool
+(** Some diagnostic reaches the threshold severity. *)
+
+val render_text : report -> string
+(** Human rendering: one header line per diagnostic with its source
+    excerpt and caret, then a summary line. *)
+
+val render_json : report -> string
+(** Machine rendering:
+    [{"diagnostics":[…],"summary":{"error":n,"warning":n,"info":n}}]. *)

@@ -1,0 +1,111 @@
+open Relational
+open Deps
+
+let diag = Diagnostic.make
+
+let l201 (r : Dbre.Pipeline.result) =
+  List.filter_map
+    (fun (rel, nf) ->
+      match nf with
+      | Normal_forms.Nf3 | Normal_forms.Bcnf -> None
+      | (Normal_forms.Nf1 | Normal_forms.Nf2) as nf ->
+          Some
+            (diag ~code:"L201" Diagnostic.Error
+               (Printf.sprintf
+                  "post-Restruct relation %s is only in %s: the elicited \
+                   FDs still violate 3NF"
+                  rel
+                  (Normal_forms.nf_to_string nf))))
+    (Dbre.Pipeline.nf_report r)
+
+let l202 (r : Dbre.Pipeline.result) =
+  let schema = r.restruct_result.Dbre.Restruct.schema in
+  List.filter_map
+    (fun ind ->
+      if Ind.key_based schema ind then None
+      else
+        Some
+          (diag ~code:"L202" Diagnostic.Error
+             (Printf.sprintf
+                "RIC %s: the right-hand side is not a declared key of %s"
+                (Ind.to_string ind) ind.Ind.rhs_rel)))
+    r.restruct_result.Dbre.Restruct.ric
+
+let l203 (r : Dbre.Pipeline.result) =
+  let schema = r.restruct_result.Dbre.Restruct.schema in
+  let side_problem rel attrs =
+    match Schema.find schema rel with
+    | None -> Some (Printf.sprintf "relation %s is not in the schema" rel)
+    | Some rl -> (
+        match
+          List.filter (fun a -> not (Relation.has_attr rl a)) attrs
+        with
+        | [] -> None
+        | missing ->
+            Some
+              (Printf.sprintf "%s has no attribute %s" rel
+                 (String.concat ", " missing)))
+  in
+  List.filter_map
+    (fun (ind : Ind.t) ->
+      let problem =
+        match side_problem ind.Ind.lhs_rel ind.Ind.lhs_attrs with
+        | Some p -> Some p
+        | None -> side_problem ind.Ind.rhs_rel ind.Ind.rhs_attrs
+      in
+      Option.map
+        (fun p ->
+          diag ~code:"L203" Diagnostic.Error
+            (Printf.sprintf "dangling IND after Rewrite: %s (%s)"
+               (Ind.to_string ind) p))
+        problem)
+    r.restruct_result.Dbre.Restruct.inds
+
+let l204 (r : Dbre.Pipeline.result) =
+  match Er.Validate.check r.translate_result.Dbre.Translate.eer with
+  | Ok () -> []
+  | Error msgs ->
+      List.map
+        (fun m ->
+          diag ~code:"L204" Diagnostic.Error
+            (Printf.sprintf "EER schema ill-formed: %s" m))
+        msgs
+
+let l205 (r : Dbre.Pipeline.result) =
+  let eer = r.translate_result.Dbre.Translate.eer in
+  List.concat_map
+    (fun (rel : Er.Eer.relationship) ->
+      let empty_roles =
+        List.filter_map
+          (fun (role : Er.Eer.role) ->
+            if role.Er.Eer.role_attrs = [] then
+              Some
+                (diag ~code:"L205" Diagnostic.Error
+                   (Printf.sprintf
+                      "relationship %s: role of %s is realized by no \
+                       attributes"
+                      rel.Er.Eer.r_name role.Er.Eer.role_entity))
+            else None)
+          rel.Er.Eer.r_roles
+      in
+      let cards =
+        List.map (fun (role : Er.Eer.role) -> role.Er.Eer.role_card)
+          rel.Er.Eer.r_roles
+      in
+      let partial =
+        if
+          List.exists Option.is_some cards && List.exists Option.is_none cards
+        then
+          [
+            diag ~code:"L205" Diagnostic.Warning
+              (Printf.sprintf
+                 "relationship %s: cardinalities inferred for only some \
+                  legs"
+                 rel.Er.Eer.r_name);
+          ]
+        else []
+      in
+      empty_roles @ partial)
+    eer.Er.Eer.relationships
+
+let check_result r = l201 r @ l202 r @ l203 r @ l204 r @ l205 r

@@ -1,0 +1,22 @@
+(** Verification rules ([L2xx]) over pipeline artifacts.
+
+    These re-check the §7 postconditions on a completed pipeline run —
+    the "trust but verify" pass a reverse engineer wants before handing
+    the conceptual schema to a migration project:
+
+    - [L201] (error) — a post-Restruct relation is not in 3NF against
+      the elicited FDs plus its key FDs.
+    - [L202] (error) — a constraint in [RIC] whose right-hand side is
+      not a declared key of its relation.
+    - [L203] (error) — a dangling IND after rewriting: a side names a
+      relation or attribute the restructured schema does not declare.
+    - [L204] (error) — the EER schema is ill-formed
+      ({!Er.Validate.check} fails).
+    - [L205] (error/warning) — malformed relationship cardinalities: a
+      role realized by no attributes (error), or a relationship where
+      cardinality inference annotated only some legs (warning). *)
+
+val check_result : Dbre.Pipeline.result -> Diagnostic.t list
+(** All verification rules over a completed run. Diagnostics carry no
+    spans (artifacts have no source text); the relation/constraint is
+    named in the message. *)

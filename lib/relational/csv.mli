@@ -58,11 +58,13 @@ val load :
     what dependency discovery will run against. *)
 
 val load_table : ?header:bool -> Relation.t -> string -> Table.t
+[@@deprecated "use Csv.load ~mode:`Strict"]
 (** @deprecated Thin wrapper over [load ~mode:`Strict] re-raising the
     error as [Error.Error]. Use {!load}. *)
 
 val load_table_lenient :
   ?header:bool -> Relation.t -> string -> Table.t * Quarantine.report
+[@@deprecated "use Csv.load ~mode:`Quarantine"]
 (** @deprecated Thin wrapper over [load ~mode:`Quarantine] that always
     materializes a report (empty when nothing was quarantined). Use
     {!load}. *)

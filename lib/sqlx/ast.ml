@@ -1,6 +1,6 @@
 open Relational
 
-type column = { tbl : string option; col : string }
+type column = { tbl : string option; col : string; c_span : Span.t }
 
 type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
 
@@ -38,7 +38,7 @@ and agg =
   | Min of column
   | Max of column
 
-and table_ref = { rel : string; alias : string option }
+and table_ref = { rel : string; alias : string option; t_span : Span.t }
 
 and query =
   | Select of select
@@ -52,6 +52,7 @@ type column_def = {
   col_name : string;
   sql_type : string;
   col_constraints : col_constraint list;
+  cd_span : Span.t;
 }
 
 type table_constraint =
@@ -63,6 +64,7 @@ type create_table = {
   ct_name : string;
   columns : column_def list;
   constraints : table_constraint list;
+  ct_span : Span.t;
 }
 
 type alter_action =
@@ -77,6 +79,9 @@ type statement =
   | Update of string * (string * expr) list * cond option
   | Delete of string * cond option
   | Alter of string * alter_action
+
+let column ?tbl ?(span = Span.dummy) col = { tbl; col; c_span = span }
+let table_ref ?alias ?(span = Span.dummy) rel = { rel; alias; t_span = span }
 
 let rec query_selects = function
   | Select s -> [ s ]

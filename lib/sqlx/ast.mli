@@ -9,8 +9,10 @@
 
 open Relational
 
-type column = { tbl : string option; col : string }
-(** A possibly qualified column reference [t.c]. *)
+type column = { tbl : string option; col : string; c_span : Span.t }
+(** A possibly qualified column reference [t.c]. [c_span] covers the
+    whole (qualified) reference in the source it was parsed from
+    ({!Span.dummy} for synthesized nodes). *)
 
 type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
 
@@ -55,7 +57,8 @@ and agg =
   | Min of column
   | Max of column
 
-and table_ref = { rel : string; alias : string option }
+and table_ref = { rel : string; alias : string option; t_span : Span.t }
+(** [t_span] covers the relation name (not the alias). *)
 
 and query =
   | Select of select
@@ -69,6 +72,7 @@ type column_def = {
   col_name : string;
   sql_type : string;
   col_constraints : col_constraint list;
+  cd_span : Span.t;  (** span of the column name *)
 }
 
 type table_constraint =
@@ -81,6 +85,7 @@ type create_table = {
   ct_name : string;
   columns : column_def list;
   constraints : table_constraint list;
+  ct_span : Span.t;  (** span of the table name *)
 }
 
 type alter_action =
@@ -98,6 +103,12 @@ type statement =
   | Update of string * (string * expr) list * cond option
   | Delete of string * cond option
   | Alter of string * alter_action
+
+val column : ?tbl:string -> ?span:Span.t -> string -> column
+(** Build a column reference; [span] defaults to {!Span.dummy}. *)
+
+val table_ref : ?alias:string -> ?span:Span.t -> string -> table_ref
+(** Build a table reference; [span] defaults to {!Span.dummy}. *)
 
 val query_selects : query -> select list
 (** Every [select] node of a query, including nested set-operation

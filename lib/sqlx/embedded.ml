@@ -2,30 +2,61 @@ type extraction = {
   statements : Ast.statement list;
   raw_found : int;
   parse_failures : string list;
+  located_failures : (string * Span.t) list;
 }
 
-let find_ci haystack needle start =
-  (* case-insensitive substring search *)
-  let h = String.lowercase_ascii haystack
-  and n = String.lowercase_ascii needle in
-  let hl = String.length h and nl = String.length n in
+(* substring search over already-lowercased text, allocation-free: the
+   callers searching repeatedly (block extraction) lowercase the host
+   text once instead of once per probe *)
+let find_sub lower needle start =
+  let hl = String.length lower and nl = String.length needle in
+  let rec matches i j = j >= nl || (lower.[i + j] = needle.[j] && matches i (j + 1)) in
   let rec go i =
-    if i + nl > hl then None
-    else if String.sub h i nl = n then Some i
-    else go (i + 1)
+    if i + nl > hl then None else if matches i 0 then Some i else go (i + 1)
   in
   go start
 
-let exec_sql_blocks text =
+let find_ci haystack needle start =
+  (* case-insensitive substring search *)
+  find_sub (String.lowercase_ascii haystack) (String.lowercase_ascii needle)
+    start
+
+(* like String.trim, but return how many leading characters were dropped
+   so the caller can keep host offsets exact *)
+let trim_located s off =
+  let n = String.length s in
+  let is_ws = function ' ' | '\t' | '\n' | '\r' | '\012' -> true | _ -> false in
+  let i = ref 0 in
+  while !i < n && is_ws s.[!i] do incr i done;
+  let j = ref (n - 1) in
+  while !j >= !i && is_ws s.[!j] do decr j done;
+  (String.sub s !i (!j - !i + 1), off + !i)
+
+(* EXEC SQL blocks with the host offset of each body *)
+let exec_sql_blocks_located text =
+  let lower = String.lowercase_ascii text in
   let blocks = ref [] in
   let rec go pos =
-    match find_ci text "exec sql" pos with
+    match find_sub lower "exec sql" pos with
     | None -> ()
     | Some start ->
         let body_start = start + String.length "exec sql" in
         (* terminator: END-EXEC (COBOL) or ';' (C-style), whichever first *)
-        let end_exec = find_ci text "end-exec" body_start in
-        let semi = String.index_from_opt text body_start ';' in
+        let end_exec = find_sub lower "end-exec" body_start in
+        let semi =
+          (* only relevant when it precedes END-EXEC, so bound the scan
+             there: an unterminated C-style block otherwise rescans the
+             whole tail for every COBOL block *)
+          let limit =
+            match end_exec with Some e -> e | None -> String.length text
+          in
+          let rec go i =
+            if i >= limit then None
+            else if text.[i] = ';' then Some i
+            else go (i + 1)
+          in
+          go body_start
+        in
         let stop, next =
           match (end_exec, semi) with
           | Some e, Some s when e < s -> (e, e + String.length "end-exec")
@@ -33,7 +64,9 @@ let exec_sql_blocks text =
           | _, Some s -> (s, s + 1)
           | None, None -> (String.length text, String.length text)
         in
-        blocks := String.sub text body_start (stop - body_start) :: !blocks;
+        blocks :=
+          (String.sub text body_start (stop - body_start), body_start)
+          :: !blocks;
         go next
   in
   go 0;
@@ -42,9 +75,10 @@ let exec_sql_blocks text =
 let sql_keywords = [ "select"; "insert"; "update"; "delete"; "create"; "alter" ]
 
 (* COBOL/embedded-SQL cursors: "DECLARE <name> CURSOR FOR <select>" — the
-   interesting part is the select *)
-let strip_cursor_declaration s =
-  let trimmed = String.trim s in
+   interesting part is the select. The located variant keeps the host
+   offset of whatever survives. *)
+let strip_cursor_located s off =
+  let trimmed, off = trim_located s off in
   let lower = String.lowercase_ascii trimmed in
   let prefix = "declare" in
   if
@@ -54,9 +88,13 @@ let strip_cursor_declaration s =
     match find_ci lower "cursor for" 0 with
     | Some i ->
         let start = i + String.length "cursor for" in
-        String.trim (String.sub trimmed start (String.length trimmed - start))
-    | None -> trimmed
-  else trimmed
+        trim_located
+          (String.sub trimmed start (String.length trimmed - start))
+          (off + start)
+    | None -> (trimmed, off)
+  else (trimmed, off)
+
+let strip_cursor_declaration s = fst (strip_cursor_located s 0)
 
 let looks_like_sql s =
   let s = String.lowercase_ascii (strip_cursor_declaration s) in
@@ -66,8 +104,12 @@ let looks_like_sql s =
       && String.sub s 0 (String.length kw) = kw)
     sql_keywords
 
-(* scan string literals, joining adjacent ones (possibly via + or &) *)
-let string_literals text =
+(* scan string literals, joining adjacent ones (possibly via + or &);
+   each carries the host offset of its first character. Offsets inside a
+   merged multi-literal are approximate past the first piece (quote
+   doubling and the joining space shift them), which is the best a
+   dynamic-SQL extractor can do. *)
+let string_literals_located text =
   let n = String.length text in
   let literals = ref [] in
   let read_literal quote i =
@@ -96,10 +138,8 @@ let string_literals text =
       | _ -> i
   in
   let rec go i current =
-    if i >= n then begin
-      (match current with Some c -> literals := c :: !literals | None -> ());
-      ()
-    end
+    if i >= n then
+      match current with Some c -> literals := c :: !literals | None -> ()
     else
       match text.[i] with
       | '"' | '\'' ->
@@ -109,7 +149,9 @@ let string_literals text =
             k < n && (text.[k] = '"' || text.[k] = '\'') && k > j
           in
           let merged =
-            match current with Some c -> c ^ " " ^ lit | None -> lit
+            match current with
+            | Some (c, o) -> (c ^ " " ^ lit, o)
+            | None -> (lit, i + 1)
           in
           if continues then go k (Some merged)
           else begin
@@ -121,50 +163,78 @@ let string_literals text =
   go 0 None;
   List.rev !literals
 
-let extract_sql_fragments text =
-  let blocks = exec_sql_blocks text in
-  (* avoid re-reporting literals inside EXEC SQL blocks: strip them *)
+let located_fragments text =
+  let blocks = exec_sql_blocks_located text in
+  (* avoid re-reporting literals inside EXEC SQL blocks: blank the exact
+     offset ranges, preserving newlines so literal line numbers hold *)
   let without_blocks =
     match blocks with
     | [] -> text
     | _ ->
-        List.fold_left
-          (fun acc block ->
-            match find_ci acc block 0 with
-            | Some i ->
-                String.sub acc 0 i
-                ^ String.make (String.length block) ' '
-                ^ String.sub acc
-                    (i + String.length block)
-                    (String.length acc - i - String.length block)
-            | None -> acc)
-          text blocks
+        let b = Bytes.of_string text in
+        List.iter
+          (fun (body, off) ->
+            for i = off to off + String.length body - 1 do
+              if Bytes.get b i <> '\n' then Bytes.set b i ' '
+            done)
+          blocks;
+        Bytes.to_string b
   in
   let literals =
-    List.filter looks_like_sql (string_literals without_blocks)
-    |> List.map strip_cursor_declaration
+    string_literals_located without_blocks
+    |> List.filter (fun (s, _) -> looks_like_sql s)
+    |> List.map (fun (s, off) -> strip_cursor_located s off)
   in
   let blocks =
-    List.filter looks_like_sql (List.map String.trim blocks)
-    |> List.map strip_cursor_declaration
+    List.map (fun (body, off) -> trim_located body off) blocks
+    |> List.filter (fun (s, _) -> looks_like_sql s)
+    |> List.map (fun (s, off) -> strip_cursor_located s off)
   in
-  blocks @ literals
+  let fragments = blocks @ literals in
+  (* one left-to-right pass converts host offsets to line/col bases *)
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Int.compare a b) fragments
+  in
+  let bases = Hashtbl.create 8 in
+  ignore
+    (List.fold_left
+       (fun base (_, off) ->
+         let base =
+           Span.advance base
+             (String.sub text base.Span.b_off (off - base.Span.b_off))
+             (off - base.Span.b_off)
+         in
+         if not (Hashtbl.mem bases off) then Hashtbl.add bases off base;
+         base)
+       Span.base0 sorted);
+  List.map (fun (frag, off) -> (frag, Hashtbl.find bases off)) fragments
+
+let extract_sql_fragments text = List.map fst (located_fragments text)
+
+let span_of_fragment (frag, base) =
+  let e = Span.advance base frag (String.length frag) in
+  Span.make ~s_off:base.Span.b_off ~s_line:base.Span.b_line
+    ~s_col:base.Span.b_col ~e_off:e.Span.b_off ~e_line:e.Span.b_line
+    ~e_col:e.Span.b_col
 
 let scan text =
-  let fragments = extract_sql_fragments text in
-  let statements, failures =
+  let fragments = located_fragments text in
+  let chunks, failures =
     List.fold_left
-      (fun (stmts, fails) fragment ->
-        match Parser.parse_script fragment with
-        | parsed -> (stmts @ parsed, fails)
+      (fun (chunks, fails) ((fragment, base) as located) ->
+        match Parser.parse_script ~base fragment with
+        | parsed -> (parsed :: chunks, fails)
         | exception (Parser.Error _ | Lexer.Error _) ->
-            (stmts, fragment :: fails))
+            (chunks, (fragment, span_of_fragment located) :: fails))
       ([], []) fragments
   in
+  let statements = List.concat (List.rev chunks) in
+  let failures = List.rev failures in
   {
     statements;
     raw_found = List.length fragments;
-    parse_failures = List.rev failures;
+    parse_failures = List.map fst failures;
+    located_failures = failures;
   }
 
 let scan_files texts =
@@ -175,6 +245,12 @@ let scan_files texts =
         statements = acc.statements @ e.statements;
         raw_found = acc.raw_found + e.raw_found;
         parse_failures = acc.parse_failures @ e.parse_failures;
+        located_failures = acc.located_failures @ e.located_failures;
       })
-    { statements = []; raw_found = 0; parse_failures = [] }
+    {
+      statements = [];
+      raw_found = 0;
+      parse_failures = [];
+      located_failures = [];
+    }
     texts

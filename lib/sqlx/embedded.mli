@@ -6,12 +6,20 @@
     or as string literals handed to a dynamic-SQL API. This scanner
     recovers both, parses them, and silently skips fragments that do not
     parse (legacy sources are full of dialect noise — a real extractor
-    must survive them). *)
+    must survive them).
+
+    Every fragment keeps the host offset it was found at, so the parsed
+    AST carries spans in host-program coordinates: a diagnostic about an
+    embedded query points into the original source file. [EXEC SQL]
+    block offsets are exact; inside a merged multi-literal dynamic-SQL
+    string, positions past the first piece are approximate. *)
 
 type extraction = {
   statements : Ast.statement list;  (** successfully parsed statements *)
   raw_found : int;  (** candidate fragments found before parsing *)
   parse_failures : string list;  (** fragments that failed to parse *)
+  located_failures : (string * Span.t) list;
+      (** the same failed fragments with their host-program spans *)
 }
 
 val scan : string -> extraction
@@ -30,3 +38,8 @@ val extract_sql_fragments : string -> string list
     markers are preserved (the SQL lexer understands [:var]). Adjacent
     string literals separated only by whitespace or [+]/[&] concatenation
     operators are joined, covering multi-line dynamic SQL. *)
+
+val located_fragments : string -> (string * Span.base) list
+(** {!extract_sql_fragments} with the host position each fragment starts
+    at — the base to hand {!Parser.parse_script} for host-coordinate
+    spans. *)

@@ -57,8 +57,15 @@ let dedupe joins =
    (self-join) stay distinct *)
 type frame = { scope : int; entries : (string * string) list }
 
-(* a resolved column: which FROM instance and which attribute *)
-type resolved = { r_scope : int; r_alias : string; r_rel : string; r_attr : string }
+(* a resolved column: which FROM instance and which attribute, plus the
+   source span of the reference it resolved from *)
+type resolved = {
+  r_scope : int;
+  r_alias : string;
+  r_rel : string;
+  r_attr : string;
+  r_span : Span.t;
+}
 
 let resolve schema (frames : frame list) (c : Ast.column) =
   match c.tbl with
@@ -73,7 +80,14 @@ let resolve schema (frames : frame list) (c : Ast.column) =
                   | Some r -> Relation.has_attr r c.col
                   | None -> false
                 then
-                  Some { r_scope = f.scope; r_alias = alias; r_rel = rel; r_attr = c.col }
+                  Some
+                    {
+                      r_scope = f.scope;
+                      r_alias = alias;
+                      r_rel = rel;
+                      r_attr = c.col;
+                      r_span = c.c_span;
+                    }
                 else None
             | Some _ -> None
             | None -> search rest)
@@ -94,7 +108,14 @@ let resolve schema (frames : frame list) (c : Ast.column) =
             in
             match hits with
             | [ (alias, rel) ] ->
-                Some { r_scope = f.scope; r_alias = alias; r_rel = rel; r_attr = c.col }
+                Some
+                  {
+                    r_scope = f.scope;
+                    r_alias = alias;
+                    r_rel = rel;
+                    r_attr = c.col;
+                    r_span = c.c_span;
+                  }
             | [] -> search rest
             | _ :: _ :: _ -> None (* ambiguous *))
       in
@@ -272,6 +293,37 @@ let of_query schema q =
   let ctx = { schema; next_scope = 0; pairs = [] } in
   walk_query ctx [] q;
   dedupe (joins_of_pairs ctx.pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Span-carrying column pairs (for diagnostics)                         *)
+(* ------------------------------------------------------------------ *)
+
+type resolved_col = { rc_rel : string; rc_attr : string; rc_span : Span.t }
+
+let export_pairs pairs =
+  List.rev_map
+    (fun (a, b) ->
+      ( { rc_rel = a.r_rel; rc_attr = a.r_attr; rc_span = a.r_span },
+        { rc_rel = b.r_rel; rc_attr = b.r_attr; rc_span = b.r_span } ))
+    pairs
+
+let column_pairs_of_query schema q =
+  let ctx = { schema; next_scope = 0; pairs = [] } in
+  walk_query ctx [] q;
+  export_pairs ctx.pairs
+
+let column_pairs_of_statement schema (stmt : Ast.statement) =
+  match stmt with
+  | Ast.Query q -> column_pairs_of_query schema q
+  | Ast.Update (rel, _, Some where) | Ast.Delete (rel, Some where) ->
+      let ctx = { schema; next_scope = 0; pairs = [] } in
+      let frame = { scope = fresh_scope ctx; entries = [ (rel, rel) ] } in
+      List.iter (walk_conjunct ctx [ frame ]) (Ast.cond_conjuncts where);
+      export_pairs ctx.pairs
+  | Ast.Insert_select (_, _, q) -> column_pairs_of_query schema q
+  | Ast.Update (_, _, None) | Ast.Delete (_, None)
+  | Ast.Create _ | Ast.Insert _ | Ast.Alter _ ->
+      []
 
 let of_statement schema (stmt : Ast.statement) =
   match stmt with

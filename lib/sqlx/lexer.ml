@@ -10,10 +10,29 @@ let is_ident_char c = is_ident_start c || is_digit c || c = '-'
    inside identifiers when not followed by a digit-only suffix ambiguity —
    see [lex_ident] which stops '-' before a non-ident char. *)
 
-let tokenize input =
+(* offsets of the first character of every line, for offset -> line/col *)
+let line_starts input =
+  let n = String.length input in
+  let starts = ref [ 0 ] in
+  for i = 0 to n - 1 do
+    if input.[i] = '\n' then starts := (i + 1) :: !starts
+  done;
+  Array.of_list (List.rev !starts)
+
+let pos_of starts off =
+  (* greatest line start <= off, by binary search *)
+  let lo = ref 0 and hi = ref (Array.length starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if starts.(mid) <= off then lo := mid else hi := mid - 1
+  done;
+  (!lo + 1, off - starts.(!lo) + 1)
+
+let tokenize_spanned ?(base = Span.base0) input =
   let n = String.length input in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
+  (* emit the token lexed from [i, j) *)
+  let emit t i j = toks := (t, i, j) :: !toks in
   let rec skip i =
     if i >= n then i
     else
@@ -81,67 +100,68 @@ let tokenize input =
   in
   let rec go i =
     let i = skip i in
-    if i >= n then emit Token.Eof
+    if i >= n then emit Token.Eof n n
     else
       let c = input.[i] in
       if is_ident_start c then begin
         let word, j = lex_ident i in
-        if Token.is_keyword word then emit (Token.Kw (String.uppercase_ascii word))
-        else emit (Token.Ident word);
+        if Token.is_keyword word then
+          emit (Token.Kw (String.uppercase_ascii word)) i j
+        else emit (Token.Ident word) i j;
         go j
       end
       else if is_digit c then begin
         let tok, j = lex_number i in
-        emit tok;
+        emit tok i j;
         go j
       end
       else
         match c with
         | '\'' ->
             let s, j = lex_string (i + 1) in
-            emit (Token.Str s);
+            emit (Token.Str s) i j;
             go j
         | '"' ->
             let s, j = lex_quoted_ident (i + 1) in
-            emit (Token.Ident s);
+            emit (Token.Ident s) i j;
             go j
         | '(' | ')' | ',' | ';' | '.' | '*' | '+' | '/' ->
-            emit (Token.Punct (String.make 1 c));
+            emit (Token.Punct (String.make 1 c)) i (i + 1);
             go (i + 1)
         | '=' ->
-            emit (Token.Punct "=");
+            emit (Token.Punct "=") i (i + 1);
             go (i + 1)
         | '<' ->
             if i + 1 < n && input.[i + 1] = '>' then begin
-              emit (Token.Punct "<>");
+              emit (Token.Punct "<>") i (i + 2);
               go (i + 2)
             end
             else if i + 1 < n && input.[i + 1] = '=' then begin
-              emit (Token.Punct "<=");
+              emit (Token.Punct "<=") i (i + 2);
               go (i + 2)
             end
             else begin
-              emit (Token.Punct "<");
+              emit (Token.Punct "<") i (i + 1);
               go (i + 1)
             end
         | '>' ->
             if i + 1 < n && input.[i + 1] = '=' then begin
-              emit (Token.Punct ">=");
+              emit (Token.Punct ">=") i (i + 2);
               go (i + 2)
             end
             else begin
-              emit (Token.Punct ">");
+              emit (Token.Punct ">") i (i + 1);
               go (i + 1)
             end
         | '!' ->
             if i + 1 < n && input.[i + 1] = '=' then begin
-              emit (Token.Punct "!=");
+              emit (Token.Punct "!=") i (i + 2);
               go (i + 2)
             end
             else raise (Error ("illegal character '!'", i))
         | '|' ->
             if i + 1 < n && input.[i + 1] = '|' then begin
-              emit (Token.Punct "||");
+              emit (Token.Punct "||") i (i + 2);
               go (i + 2)
             end
             else raise (Error ("illegal character '|'", i))
@@ -154,11 +174,11 @@ let tokenize input =
                 | Token.Float f -> Token.Float (-.f)
                 | t -> t
               in
-              emit (neg tok);
+              emit (neg tok) i j;
               go j
             end
             else begin
-              emit (Token.Punct "-");
+              emit (Token.Punct "-") i (i + 1);
               go (i + 1)
             end
         | ':' ->
@@ -166,11 +186,24 @@ let tokenize input =
                host variable; we surface it as an identifier-like token *)
             if i + 1 < n && is_ident_start input.[i + 1] then begin
               let word, j = lex_ident (i + 1) in
-              emit (Token.Ident (":" ^ word));
+              emit (Token.Ident (":" ^ word)) i j;
               go j
             end
             else raise (Error ("illegal character ':'", i))
         | _ -> raise (Error (Printf.sprintf "illegal character %C" c, i))
   in
   go 0;
-  List.rev !toks
+  let starts = line_starts input in
+  List.rev_map
+    (fun (tok, i, j) ->
+      let s_line, s_col = pos_of starts i in
+      let e_line, e_col = pos_of starts j in
+      let span =
+        Span.rebase base
+          (Span.make ~s_off:i ~s_line ~s_col ~e_off:j ~e_line ~e_col)
+      in
+      { Token.tok; span })
+    !toks
+
+let tokenize input =
+  List.map (fun (s : Token.spanned) -> s.Token.tok) (tokenize_spanned input)

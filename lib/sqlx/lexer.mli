@@ -10,3 +10,9 @@ exception Error of string * int
 
 val tokenize : string -> Token.t list
 (** Whole-input lexing; the result always ends with [Token.Eof]. *)
+
+val tokenize_spanned : ?base:Span.base -> string -> Token.spanned list
+(** Like {!tokenize} but every token carries its source span. [base]
+    (default {!Span.base0}) re-bases spans onto an enclosing text — used
+    by {!Embedded} so spans of SQL extracted from a host program point
+    into the host source. *)

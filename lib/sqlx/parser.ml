@@ -2,11 +2,13 @@ open Relational
 
 exception Error of string
 
-type state = { toks : Token.t array; mutable pos : int }
+type state = { toks : Token.spanned array; mutable pos : int }
 
-let peek st = st.toks.(st.pos)
+let peek st = st.toks.(st.pos).Token.tok
+let peek_span st = st.toks.(st.pos).Token.span
 let peek2 st =
-  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else Token.Eof
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Token.tok
+  else Token.Eof
 
 let advance st = st.pos <- st.pos + 1
 
@@ -29,25 +31,29 @@ let accept st tok =
 
 let accept_kw st kw = accept st (Token.Kw kw)
 
-(* identifier or keyword used as a name (legacy schemas use e.g. "date") *)
-let name st =
+(* identifier or keyword used as a name (legacy schemas use e.g. "date");
+   [name_sp] also returns the consumed token's span *)
+let name_sp st =
+  let span = peek_span st in
   match peek st with
   | Token.Ident i ->
       advance st;
-      i
+      (i, span)
   | Token.Kw k when not (List.mem k [ "FROM"; "WHERE"; "SELECT"; "GROUP"; "ORDER" ]) ->
       advance st;
-      String.lowercase_ascii k
+      (String.lowercase_ascii k, span)
   | _ -> fail st "expected name"
 
+let name st = fst (name_sp st)
+
 let column st =
-  let first = name st in
+  let first, sp1 = name_sp st in
   if Token.equal (peek st) (Token.Punct ".") then begin
     advance st;
-    let second = name st in
-    { Ast.tbl = Some first; col = second }
+    let second, sp2 = name_sp st in
+    { Ast.tbl = Some first; col = second; c_span = Span.join sp1 sp2 }
   end
-  else { Ast.tbl = None; col = first }
+  else { Ast.tbl = None; col = first; c_span = sp1 }
 
 let literal st =
   match peek st with
@@ -215,7 +221,7 @@ and from_clause st =
   (* returns table refs plus the conditions of JOIN ... ON clauses *)
   let conds = ref [] in
   let one () =
-    let rel = name st in
+    let rel, span = name_sp st in
     let alias =
       if accept_kw st "AS" then Some (name st)
       else
@@ -223,7 +229,7 @@ and from_clause st =
         | Token.Ident _ -> Some (name st)
         | _ -> None
     in
-    { Ast.rel; alias }
+    { Ast.rel; alias; t_span = span }
   in
   let rec more acc =
     if accept st (Token.Punct ",") then more (one () :: acc)
@@ -402,7 +408,7 @@ let name_list st =
 let create_table st =
   eat_kw st "CREATE";
   eat_kw st "TABLE";
-  let ct_name = name st in
+  let ct_name, ct_span = name_sp st in
   eat st (Token.Punct "(");
   let columns = ref [] and constraints = ref [] in
   let rec table_constraint () =
@@ -440,7 +446,7 @@ let create_table st =
     | _ -> fail st "expected constraint body after CONSTRAINT name"
   in
   let column_def () =
-    let col_name = name st in
+    let col_name, cd_span = name_sp st in
     let typ = sql_type st in
     let cstrs = ref [] in
     let rec col_constraints () =
@@ -476,7 +482,7 @@ let create_table st =
     in
     col_constraints ();
     columns :=
-      { Ast.col_name; sql_type = typ; col_constraints = List.rev !cstrs }
+      { Ast.col_name; sql_type = typ; col_constraints = List.rev !cstrs; cd_span }
       :: !columns
   in
   let rec items () =
@@ -489,6 +495,7 @@ let create_table st =
     Ast.ct_name;
     columns = List.rev !columns;
     constraints = List.rev !constraints;
+    ct_span;
   }
 
 let insert st =
@@ -581,16 +588,16 @@ let statement st =
   | Token.Kw "ALTER" -> alter st
   | _ -> fail st "expected a statement"
 
-let of_string input =
+let of_string ?base input =
   let toks =
-    try Lexer.tokenize input
+    try Lexer.tokenize_spanned ?base input
     with Lexer.Error (msg, pos) ->
       raise (Error (Printf.sprintf "lexical error at offset %d: %s" pos msg))
   in
   { toks = Array.of_list toks; pos = 0 }
 
-let parse_statement input =
-  let st = of_string input in
+let parse_statement ?base input =
+  let st = of_string ?base input in
   let s = statement st in
   ignore (accept st (Token.Punct ";"));
   (match peek st with
@@ -598,8 +605,8 @@ let parse_statement input =
   | _ -> fail st "trailing tokens after statement");
   s
 
-let parse_script input =
-  let st = of_string input in
+let parse_script ?base input =
+  let st = of_string ?base input in
   let rec go acc =
     match peek st with
     | Token.Eof -> List.rev acc

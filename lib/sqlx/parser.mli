@@ -18,10 +18,12 @@ exception Error of string
 (** Parse error with a human-readable message including the offending
     token. *)
 
-val parse_statement : string -> Ast.statement
-(** Parse exactly one statement (an optional trailing [';'] accepted). *)
+val parse_statement : ?base:Span.base -> string -> Ast.statement
+(** Parse exactly one statement (an optional trailing [';'] accepted).
+    AST nodes carry source spans; [base] (default {!Span.base0}) re-bases
+    them onto an enclosing text (see {!Lexer.tokenize_spanned}). *)
 
-val parse_script : string -> Ast.statement list
+val parse_script : ?base:Span.base -> string -> Ast.statement list
 (** Parse a [';']-separated script. Empty statements are skipped. *)
 
 val parse_query : string -> Ast.query

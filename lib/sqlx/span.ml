@@ -1,0 +1,102 @@
+type t = {
+  s_off : int;
+  s_line : int;
+  s_col : int;
+  e_off : int;
+  e_line : int;
+  e_col : int;
+}
+
+let dummy = { s_off = 0; s_line = 0; s_col = 0; e_off = 0; e_line = 0; e_col = 0 }
+
+let is_dummy t = t.s_line = 0
+
+let make ~s_off ~s_line ~s_col ~e_off ~e_line ~e_col =
+  { s_off; s_line; s_col; e_off; e_line; e_col }
+
+let join a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else
+    let s = if a.s_off <= b.s_off then a else b in
+    let e = if a.e_off >= b.e_off then a else b in
+    {
+      s_off = s.s_off;
+      s_line = s.s_line;
+      s_col = s.s_col;
+      e_off = e.e_off;
+      e_line = e.e_line;
+      e_col = e.e_col;
+    }
+
+let inside t text =
+  is_dummy t
+  || (0 <= t.s_off && t.s_off <= t.e_off && t.e_off <= String.length text)
+
+type base = { b_off : int; b_line : int; b_col : int }
+
+let base0 = { b_off = 0; b_line = 1; b_col = 1 }
+
+let advance base text n =
+  let n = min n (String.length text) in
+  let rec go i b =
+    if i >= n then b
+    else
+      let b =
+        if text.[i] = '\n' then
+          { b_off = b.b_off + 1; b_line = b.b_line + 1; b_col = 1 }
+        else { b with b_off = b.b_off + 1; b_col = b.b_col + 1 }
+      in
+      go (i + 1) b
+  in
+  go 0 base
+
+let rebase base t =
+  if is_dummy t then t
+  else
+    let move line col =
+      (* columns on the fragment's first line shift by the base column;
+         later lines keep their fragment-relative column *)
+      if line = 1 then (base.b_line, base.b_col + col - 1)
+      else (base.b_line + line - 1, col)
+    in
+    let s_line, s_col = move t.s_line t.s_col in
+    let e_line, e_col = move t.e_line t.e_col in
+    {
+      s_off = base.b_off + t.s_off;
+      s_line;
+      s_col;
+      e_off = base.b_off + t.e_off;
+      e_line;
+      e_col;
+    }
+
+let pp ppf t =
+  if is_dummy t then ()
+  else if t.s_line = t.e_line then Format.fprintf ppf "%d:%d" t.s_line t.s_col
+  else Format.fprintf ppf "%d:%d-%d:%d" t.s_line t.s_col t.e_line t.e_col
+
+let to_string t = Format.asprintf "%a" pp t
+
+let excerpt ?context_name:_ t source =
+  if is_dummy t || not (inside t source) then []
+  else begin
+    (* the source line the span starts on: scan back/forward from s_off *)
+    let n = String.length source in
+    let start = min t.s_off n in
+    let rec bol i = if i > 0 && source.[i - 1] <> '\n' then bol (i - 1) else i in
+    let rec eol i = if i < n && source.[i] <> '\n' then eol (i + 1) else i in
+    let b = bol start and e = eol start in
+    let line = String.sub source b (e - b) in
+    (* replace tabs so the caret column aligns *)
+    let line = String.map (fun c -> if c = '\t' then ' ' else c) line in
+    let width =
+      if t.e_line = t.s_line then max 1 (t.e_col - t.s_col) else 1
+    in
+    let width = max 1 (min width (String.length line - (t.s_col - 1))) in
+    let caret =
+      if t.s_col < 1 || t.s_col > String.length line + 1 then "^"
+      else String.make (t.s_col - 1) ' ' ^ String.make width '^'
+    in
+    [ line; caret ]
+  end

@@ -1,0 +1,66 @@
+(** Source spans.
+
+    A span locates a syntactic element inside the text it was parsed
+    from: half-open byte-offset range [[s_off, e_off)] plus 1-based
+    line/column coordinates for both ends. The lexer attaches a span to
+    every token; the parser threads them into the AST nodes diagnostics
+    anchor on (table references, column references, DDL column
+    definitions); {!Embedded} re-bases fragment-relative spans onto the
+    host program so a diagnostic points into the original source file.
+
+    Synthesized AST nodes (e.g. produced by query rewriting) carry
+    {!dummy}, which renders as no location. *)
+
+type t = {
+  s_off : int;  (** start byte offset (inclusive) *)
+  s_line : int;  (** 1-based start line *)
+  s_col : int;  (** 1-based start column *)
+  e_off : int;  (** end byte offset (exclusive) *)
+  e_line : int;
+  e_col : int;  (** 1-based column one past the last character *)
+}
+
+val dummy : t
+(** The no-location span (all fields 0). *)
+
+val is_dummy : t -> bool
+
+val make : s_off:int -> s_line:int -> s_col:int -> e_off:int -> e_line:int -> e_col:int -> t
+
+val join : t -> t -> t
+(** Smallest span covering both arguments; {!dummy} is neutral. *)
+
+val inside : t -> string -> bool
+(** [inside sp text]: the span's offset range lies within [text] (always
+    true for {!dummy}). *)
+
+type base = {
+  b_off : int;  (** byte offset of the fragment start in the host text *)
+  b_line : int;  (** 1-based line of the fragment start *)
+  b_col : int;  (** 1-based column of the fragment start *)
+}
+(** Where a lexed fragment begins inside an enclosing source text. *)
+
+val base0 : base
+(** Offset 0, line 1, column 1 — lexing a whole document. *)
+
+val advance : base -> string -> int -> base
+(** [advance b text n] is the base obtained by walking [n] characters of
+    [text] from [b] (newlines reset the column). Used when an extractor
+    trims a prefix off a fragment. *)
+
+val rebase : base -> t -> t
+(** Translate a fragment-relative span (as produced with {!base0}) onto
+    the host coordinates of the given base. {!dummy} is preserved. *)
+
+val pp : Format.formatter -> t -> unit
+(** [line:col] (or [line:col-line:col] when the span covers several
+    lines); nothing for {!dummy}. *)
+
+val to_string : t -> string
+
+val excerpt : ?context_name:string -> t -> string -> string list
+(** [excerpt sp source] renders the source line the span starts on plus
+    a caret line underlining the spanned characters — the classic
+    compiler-diagnostic excerpt. Empty for {!dummy} or a span that does
+    not lie inside [source]. *)

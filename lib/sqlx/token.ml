@@ -18,7 +18,12 @@ let keywords =
     "ON"; "SUM"; "AVG"; "MIN"; "MAX"; "ALTER"; "ADD"; "DROP"; "COLUMN";
   ]
 
-let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+let keyword_set =
+  let h = Hashtbl.create (2 * List.length keywords) in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_keyword s = Hashtbl.mem keyword_set (String.uppercase_ascii s)
 
 let equal (a : t) (b : t) = a = b
 
@@ -32,3 +37,9 @@ let to_string = function
   | Eof -> "<eof>"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+type spanned = { tok : t; span : Span.t }
+
+let pp_spanned ppf s =
+  if Span.is_dummy s.span then pp ppf s.tok
+  else Format.fprintf ppf "%a@@%a" pp s.tok Span.pp s.span

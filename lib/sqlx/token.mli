@@ -19,3 +19,10 @@ val is_keyword : string -> bool
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+type spanned = { tok : t; span : Span.t }
+(** A token with its source location — what {!Lexer.tokenize_spanned}
+    produces and the parser threads into the AST. *)
+
+val pp_spanned : Format.formatter -> spanned -> unit
+(** [SELECT@1:1] style. *)

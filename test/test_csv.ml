@@ -62,36 +62,50 @@ let test_roundtrip () =
     "render/parse roundtrip" rows
     (Csv.parse (Csv.render rows))
 
+(* [Csv.load] shims for the tests below: strict loading re-raises the
+   typed error like pre-[load] code did; lenient loading expects at
+   least one quarantined problem *)
+let load_strict ?header rel csv =
+  match Csv.load ?header ~mode:`Strict rel csv with
+  | Ok (t, _) -> t
+  | Error e -> raise (Error.Error e)
+
+let load_reported rel csv =
+  match Csv.load ~mode:`Quarantine rel csv with
+  | Ok (t, Some report) -> (t, report)
+  | Ok (_, None) -> Alcotest.fail "expected a quarantine report"
+  | Error _ -> Alcotest.fail "quarantine load never fails"
+
 let test_load_table () =
   let rel =
     Relation.make
       ~domains:[ ("id", Domain.Int); ("name", Domain.String) ]
       ~uniques:[ [ "id" ] ] "T" [ "id"; "name" ]
   in
-  let t = Csv.load_table rel "id,name\n1,ann\n2,bob\n" in
+  let t = load_strict rel "id,name\n1,ann\n2,bob\n" in
   Alcotest.(check int) "rows" 2 (Table.cardinality t);
   Alcotest.(check value) "typed int" (vi 1) (Table.rows t).(0).(0);
   (* header may reorder columns *)
-  let t2 = Csv.load_table rel "name,id\nann,1\n" in
+  let t2 = load_strict rel "name,id\nann,1\n" in
   Alcotest.(check value) "reordered" (vi 1) (Table.rows t2).(0).(0);
   (* empty field loads as NULL *)
-  let t3 = Csv.load_table rel "id,name\n3,\n" in
+  let t3 = load_strict rel "id,name\n3,\n" in
   Alcotest.(check value) "null" vnull (Table.rows t3).(0).(1);
   (* headerless follows declared order *)
-  let t4 = Csv.load_table ~header:false rel "4,dan\n" in
+  let t4 = load_strict ~header:false rel "4,dan\n" in
   Alcotest.(check value) "headerless" (vi 4) (Table.rows t4).(0).(0)
 
 let test_load_errors () =
   let rel = Relation.make "T" [ "id" ] in
   let e =
     expect_error "unknown column" Error.Unknown_column (fun () ->
-        Csv.load_table rel "ghost\n1\n")
+        load_strict rel "ghost\n1\n")
   in
   Alcotest.(check (option string)) "attribute" (Some "ghost") e.Error.attribute;
   Alcotest.(check (option string)) "relation" (Some "T") e.Error.relation;
   let e =
     expect_error "width mismatch" Error.Csv_arity (fun () ->
-        Csv.load_table rel "id\n1,2\n")
+        load_strict rel "id\n1,2\n")
   in
   check_contains "row and line" ~sub:"row 0 (line 2)" e.Error.message;
   check_contains "widths" ~sub:"width 2, expected 1" e.Error.message;
@@ -100,14 +114,14 @@ let test_load_errors () =
   in
   let e =
     expect_error "type mismatch" Error.Type_mismatch (fun () ->
-        Csv.load_table typed "id\n1\nx\n")
+        load_strict typed "id\n1\nx\n")
   in
   Alcotest.(check (option string)) "bad attribute" (Some "id") e.Error.attribute;
   check_contains "bad cell position" ~sub:"row 1 (line 3)" e.Error.message;
   let wide = Relation.make "T" [ "id"; "name" ] in
   let e =
     expect_error "missing declared column" Error.Missing_column (fun () ->
-        Csv.load_table wide "id\n1\n")
+        load_strict wide "id\n1\n")
   in
   Alcotest.(check (option string)) "missing attribute" (Some "name")
     e.Error.attribute
@@ -120,7 +134,7 @@ let lenient_rel =
 let test_load_lenient () =
   (* one bad cell, one arity overflow, one torn row: two good rows remain *)
   let csv = "id,name\n1,ann\nx,bob\n2,col,extra\n3,dan\n4,\"torn" in
-  let t, report = Csv.load_table_lenient lenient_rel csv in
+  let t, report = load_reported lenient_rel csv in
   Alcotest.(check int) "kept rows" 2 (Table.cardinality t);
   Alcotest.(check int) "report kept" 2 report.Quarantine.kept;
   Alcotest.(check int) "report total" 5 report.Quarantine.total_rows;
@@ -144,7 +158,7 @@ let test_load_lenient () =
 let test_load_lenient_columns () =
   (* undeclared header column is ignored with a table-level entry *)
   let t, report =
-    Csv.load_table_lenient lenient_rel "id,name,ghost\n1,ann,zzz\n"
+    load_reported lenient_rel "id,name,ghost\n1,ann,zzz\n"
   in
   Alcotest.(check int) "row kept" 1 (Table.cardinality t);
   Alcotest.(check int) "one entry" 1 (Quarantine.count report);
@@ -155,7 +169,7 @@ let test_load_lenient_columns () =
         en.Quarantine.error.Error.attribute
   | _ -> Alcotest.fail "expected one entry");
   (* missing declared column is NULL-filled with a table-level entry *)
-  let t, report = Csv.load_table_lenient lenient_rel "id\n1\n" in
+  let t, report = load_reported lenient_rel "id\n1\n" in
   Alcotest.(check int) "null-filled row kept" 1 (Table.cardinality t);
   Alcotest.(check value) "filled with NULL" vnull (Table.rows t).(0).(1);
   Alcotest.(check int) "one missing-column entry" 1 (Quarantine.count report)
@@ -170,7 +184,7 @@ let test_dump_roundtrip () =
       ~domains:[ ("a", Domain.Int); ("b", Domain.String) ]
       "T" [ "a"; "b" ]
   in
-  let reloaded = Csv.load_table rel (Csv.dump_table t) in
+  let reloaded = load_strict rel (Csv.dump_table t) in
   Alcotest.(check int) "cardinality preserved" 2 (Table.cardinality reloaded);
   Alcotest.(check value) "null roundtrips" vnull (Table.rows reloaded).(1).(0);
   Alcotest.(check value) "comma field roundtrips" (vs "x,y")

@@ -53,9 +53,11 @@ let inject_all rng fault g =
       let csv = Csv.dump_table (Database.table db rel.Relation.name) in
       let inj = Workload.Faults.inject_csv rng rel fault csv in
       injected := !injected + inj.Workload.Faults.injected;
-      let t, report = Csv.load_table_lenient rel inj.Workload.Faults.csv in
-      Database.replace_table fresh t;
-      if not (Quarantine.is_empty report) then reports := report :: !reports)
+      (match Csv.load ~mode:`Quarantine rel inj.Workload.Faults.csv with
+      | Ok (t, report) ->
+          Database.replace_table fresh t;
+          Option.iter (fun r -> reports := r :: !reports) report
+      | Error _ -> Alcotest.fail "quarantine load never fails"))
     (Schema.relations schema);
   (fresh, !injected, List.rev !reports)
 
@@ -201,9 +203,9 @@ let suite =
             let inj = Workload.Faults.inject_csv rng rel fault csv in
             if inj.Workload.Faults.injected = 0 then true
             else
-              match Csv.load_table rel inj.Workload.Faults.csv with
-              | _ -> false
-              | exception Error.Error _ -> true)
+              match Csv.load rel inj.Workload.Faults.csv with
+              | Ok _ -> false
+              | Error _ -> true)
           (Schema.relations (Database.schema g.Workload.Gen_schema.db)));
     prop "oracle failure yields a structured partial"
       (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 6))

@@ -23,10 +23,10 @@ let test_distinct_star () =
 let test_qualified_and_alias () =
   let s = select_of (parse_q "SELECT p.name AS n FROM Person p, Dept AS d") in
   (match s.Ast.projections with
-  | [ Ast.Proj (Ast.Col { tbl = Some "p"; col = "name" }, Some "n") ] -> ()
+  | [ Ast.Proj (Ast.Col { tbl = Some "p"; col = "name"; _ }, Some "n") ] -> ()
   | _ -> Alcotest.fail "projection shape");
   match s.Ast.from with
-  | [ { Ast.rel = "Person"; alias = Some "p" }; { rel = "Dept"; alias = Some "d" } ]
+  | [ { Ast.rel = "Person"; alias = Some "p"; _ }; { rel = "Dept"; alias = Some "d"; _ } ]
     -> ()
   | _ -> Alcotest.fail "from shape"
 

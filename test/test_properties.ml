@@ -281,8 +281,9 @@ let csv_props =
              (fun (_, d) -> not (Domain.equal d Domain.Float))
              domains);
         let typed = Relation.make ~domains "R" cols in
-        let reloaded = Csv.load_table typed (Csv.dump_table t) in
-        Table.to_lists reloaded = Table.to_lists t);
+        match Csv.load typed (Csv.dump_table t) with
+        | Error _ -> false
+        | Ok (reloaded, _) -> Table.to_lists reloaded = Table.to_lists t);
   ]
 
 (* equi-join extraction: generated navigation queries are recovered *)
