@@ -699,14 +699,27 @@ let generate_cmd =
   let rows_arg =
     Arg.(value & opt int 1000 & info [ "rows" ] ~doc:"Rows per entity.")
   in
-  let run out seed entities rows =
+  let scale_arg =
+    let doc =
+      "Multiply every extension size (entity and denormalized rows) by \
+       $(docv); e.g. --scale 500 turns the default workload into \
+       million-tuple denormalized extensions."
+    in
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+  in
+  let run out seed entities rows scale =
+    if not (scale > 0.) then begin
+      Printf.eprintf "dbre generate: --scale must be positive (got %g)\n" scale;
+      exit 2
+    end;
     let spec =
-      {
-        Workload.Gen_schema.default_spec with
-        Workload.Gen_schema.seed = Int64.of_int seed;
-        n_entities = entities;
-        rows_per_entity = rows;
-      }
+      Workload.Gen_schema.scale scale
+        {
+          Workload.Gen_schema.default_spec with
+          Workload.Gen_schema.seed = Int64.of_int seed;
+          n_entities = entities;
+          rows_per_entity = rows;
+        }
     in
     let g = Workload.Gen_schema.generate spec in
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
@@ -741,7 +754,7 @@ let generate_cmd =
   let doc = "Generate a synthetic denormalized workload to a directory." in
   Cmd.v
     (Cmd.info "generate" ~doc)
-    Term.(const run $ out_arg $ seed_arg $ entities_arg $ rows_arg)
+    Term.(const run $ out_arg $ seed_arg $ entities_arg $ rows_arg $ scale_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -67,69 +67,48 @@ let fresh_name db base =
   in
   go 0
 
-(* Pre-warm the per-table caches every count of the elicitation loop
-   will hit: group the distinct (table, attrs) sides of [Q] by table,
-   then fan tables out over domains — each store is touched by exactly
-   one domain, so no cache is shared across domains while building.
-   The elicitation loop itself stays sequential in the order of [Q]
-   (expert decisions are inherently ordered), so results are identical
-   whatever the domain count. *)
-let warm ~engine db joins =
-  let n_domains = Engine.domain_count engine in
-  if
-    n_domains > 1
-    && engine.Engine.check = Engine.Columnar
-    && Engine.cached engine
-  then begin
-    let per_table : (string, string list list) Hashtbl.t = Hashtbl.create 16 in
-    let add rel attrs =
-      let prev = Option.value ~default:[] (Hashtbl.find_opt per_table rel) in
-      if not (List.mem attrs prev) then
-        Hashtbl.replace per_table rel (attrs :: prev)
-    in
-    List.iter
-      (fun (j : Sqlx.Equijoin.t) ->
-        if join_resolvable db j then begin
-          add j.Sqlx.Equijoin.rel1 j.Sqlx.Equijoin.attrs1;
-          add j.Sqlx.Equijoin.rel2 j.Sqlx.Equijoin.attrs2
-        end)
-      joins;
-    let tables =
-      List.sort
-        (fun (a, _) (b, _) -> String.compare a b)
-        (Hashtbl.fold (fun rel attrs acc -> (rel, attrs) :: acc) per_table [])
-    in
-    let n = min n_domains (max 1 (List.length tables)) in
-    let buckets = Array.make n [] in
-    List.iteri
-      (fun i side -> buckets.(i mod n) <- side :: buckets.(i mod n))
-      tables;
-    let work bucket () =
-      List.iter
-        (fun (rel, attr_lists) ->
-          let store = Column_store.of_table (Database.table db rel) in
-          List.iter
-            (fun attrs -> ignore (Column_store.distinct_set store attrs))
-            attr_lists)
-        bucket
-    in
-    let spawned =
-      Array.to_list
-        (Array.map
-           (fun b -> Stdlib.Domain.spawn (work b))
-           (Array.sub buckets 1 (n - 1)))
-    in
-    work buckets.(0) ();
-    List.iter Stdlib.Domain.join spawned
-  end
+(* Plan every count the elicitation loop will need as one batch: the
+   planner builds each distinct (table, attrs) side once — fanning
+   tables over the engine's persistent Domain_pool under a parallel
+   columnar engine, replacing the domain-spawn-per-call warm-up of
+   PR 2 — and answers the N_k / N_l / N_kl triples in Q-order. The
+   elicitation loop itself stays sequential in the order of [Q]
+   (expert decisions are inherently ordered) and conceptualization
+   only ever inserts into freshly created relations, so the planned
+   counts cannot go stale mid-loop; a join that only becomes
+   resolvable mid-loop (its relation conceptualized by an earlier NEI
+   decision) falls back to direct per-join counting, preserving the
+   exact semantics of the unbatched loop. *)
+let plan ~engine db joins =
+  let planned = ref [] and probes = ref [] and n_probes = ref 0 in
+  List.iter
+    (fun (j : Sqlx.Equijoin.t) ->
+      if join_resolvable db j then begin
+        probes :=
+          ( (j.Sqlx.Equijoin.rel1, j.Sqlx.Equijoin.attrs1),
+            (j.Sqlx.Equijoin.rel2, j.Sqlx.Equijoin.attrs2) )
+          :: !probes;
+        planned := Some !n_probes :: !planned;
+        incr n_probes
+      end
+      else planned := None :: !planned)
+    joins;
+  let counts =
+    Array.of_list (Verify_plan.ind_batch ~engine db (List.rev !probes))
+  in
+  let planned = Array.of_list (List.rev !planned) in
+  fun i ->
+    match planned.(i) with
+    | Some k -> Some counts.(k)
+    | None -> None
 
 let run ?(engine = Engine.default) (oracle : Oracle.t) db joins =
-  warm ~engine db joins;
+  let planned_counts = plan ~engine db joins in
   let inds = ref [] and new_relations = ref [] and steps = ref [] in
   let add_ind ind =
     if not (List.exists (Ind.equal ind) !inds) then inds := ind :: !inds
   in
-  let process (j : Sqlx.Equijoin.t) =
+  let process i (j : Sqlx.Equijoin.t) =
     if not (join_resolvable db j) then
       steps :=
         {
@@ -141,11 +120,16 @@ let run ?(engine = Engine.default) (oracle : Oracle.t) db joins =
     else begin
       let left = (j.Sqlx.Equijoin.rel1, j.Sqlx.Equijoin.attrs1) in
       let right = (j.Sqlx.Equijoin.rel2, j.Sqlx.Equijoin.attrs2) in
-      let n_left = Database.count_distinct ~engine db (fst left) (snd left) in
-      let n_right =
-        Database.count_distinct ~engine db (fst right) (snd right)
+      let n_left, n_right, n_join =
+        match planned_counts i with
+        | Some c ->
+            (c.Verify_plan.n_left, c.Verify_plan.n_right, c.Verify_plan.n_join)
+        | None ->
+            (* became resolvable mid-loop: count directly *)
+            ( Database.count_distinct ~engine db (fst left) (snd left),
+              Database.count_distinct ~engine db (fst right) (snd right),
+              Database.join_count ~engine db left right )
       in
-      let n_join = Database.join_count ~engine db left right in
       let counts = { Ind.n_left; n_right; n_join } in
       let case =
         if n_join = 0 then Empty_intersection
@@ -181,7 +165,7 @@ let run ?(engine = Engine.default) (oracle : Oracle.t) db joins =
       steps := { join = j; counts; case } :: !steps
     end
   in
-  List.iter process joins;
+  List.iteri process joins;
   {
     inds = List.rev !inds;
     new_relations = List.rev !new_relations;

@@ -53,15 +53,22 @@ let run ?(engine = Engine.default) (oracle : Oracle.t) db ~lhs ~hidden =
               (fun b -> not (Schema.attr_not_null schema a.Attribute.rel b))
               t0
         in
+        (* one planner batch answers every pruned-RHS candidate from a
+           single LHS partition pass (§6.2.2 step (i) for the whole T at
+           once); the oracle fallback then runs in T-order over the
+           misses, exactly the decision sequence of the per-candidate
+           loop this replaces *)
+        let verdicts = Fd_infer.holds_all ~engine table ~lhs:a_attrs ~rhs:t in
         let b =
-          List.filter
-            (fun bt ->
-              let fd = Fd.make a.Attribute.rel a_attrs [ bt ] in
-              if Fd_infer.holds ~engine table fd then true
-              else
-                oracle.Oracle.enforce_fd ~rel:a.Attribute.rel ~lhs:a_attrs
-                  ~attr:bt)
-            t
+          List.filter_map
+            (fun (bt, data_backed) ->
+              if
+                data_backed
+                || oracle.Oracle.enforce_fd ~rel:a.Attribute.rel ~lhs:a_attrs
+                     ~attr:bt
+              then Some bt
+              else None)
+            verdicts
         in
         let outcome =
           if b <> [] then begin

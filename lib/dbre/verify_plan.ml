@@ -1,0 +1,4 @@
+(* Re-export the relational-layer batching planner under the pipeline's
+   namespace, like [Dbre.Engine]: pipeline users submit batches without
+   reaching below [Dbre]. *)
+include Relational.Verify_plan

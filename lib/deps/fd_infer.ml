@@ -41,6 +41,15 @@ let holds ?(engine = Engine.default) table fd =
         Column_store.fd_holds (Column_store.build table) ~lhs:fd.Fd.lhs
           ~rhs:fd.Fd.rhs
 
+(* the batched check: all [lhs -> a] verdicts from one planner group
+   (one partition pass under the columnar engines) instead of one
+   independent scan per attribute. The LHS is normalized exactly as
+   [Fd.make] normalizes it, so memoized verdicts are shared with
+   single-FD [holds] calls. *)
+let holds_all ?(engine = Engine.default) table ~lhs ~rhs =
+  let lhs = Attribute.Names.normalize lhs in
+  Verify_plan.fd_group ~engine table ~lhs ~rhs
+
 let error_rate table (fd : Fd.t) =
   let n = Table.cardinality table in
   if n = 0 then 0.0
@@ -207,10 +216,12 @@ let discover_tane ?(max_lhs = 3) ~rel table =
   let fds = Fd.combine (List.rev !found) in
   (fds, { candidates_tested = !tested; fds_found = List.length !found })
 
-let discover_for_lhs ~rel table lhs =
+let discover_for_lhs ?engine ~rel table lhs =
   let attrs = (Table.schema table).Relation.attrs in
   let candidates = List.filter (fun a -> not (List.mem a lhs)) attrs in
   let rhs =
-    List.filter (fun a -> holds_naive table (Fd.make rel lhs [ a ])) candidates
+    List.filter_map
+      (fun (a, ok) -> if ok then Some a else None)
+      (holds_all ?engine table ~lhs ~rhs:candidates)
   in
   if rhs = [] then None else Some (Fd.make rel lhs rhs)

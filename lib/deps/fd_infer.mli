@@ -24,6 +24,19 @@ val holds : ?engine:Engine.t -> Table.t -> Fd.t -> bool
     shared caches — when omitted); [engine.cache = Cache_off] makes the
     columnar path build a throwaway store. *)
 
+val holds_all :
+  ?engine:Engine.t ->
+  Table.t ->
+  lhs:string list ->
+  rhs:string list ->
+  (string * bool) list
+(** Batched check of every [lhs -> a] for [a] in [rhs], in order,
+    through {!Relational.Verify_plan.fd_group}: under the partition and
+    columnar engines the LHS partition is refined once per attribute
+    instead of scanned per candidate, and independent sweeps fan out
+    over the engine's {!Relational.Domain_pool}. Verdicts are identical
+    to per-candidate {!holds} calls (engine-equivalence contract). *)
+
 val error_rate : Table.t -> Fd.t -> float
 (** Fraction of rows that must be removed for the FD to hold
     ([g3] error measure): 0 when it holds. *)
@@ -61,7 +74,9 @@ val discover_tane :
     exactly {!discover}'s output (property-tested); on extensions with
     nullable identifiers prefer {!discover}. *)
 
-val discover_for_lhs : rel:string -> Table.t -> string list -> Fd.t option
+val discover_for_lhs :
+  ?engine:Engine.t -> rel:string -> Table.t -> string list -> Fd.t option
 (** Maximal RHS functionally determined by the given LHS (excluding the
     LHS itself); [None] when nothing besides the LHS is determined.
-    This is the primitive RHS-Discovery (§6.2.2) calls per candidate. *)
+    This is the primitive RHS-Discovery (§6.2.2) calls per candidate —
+    answered as one {!holds_all} batch over the non-LHS attributes. *)

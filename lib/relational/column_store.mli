@@ -60,6 +60,13 @@ val column : t -> string -> column
 (** Encode (or fetch) one attribute's column. Raises
     [Invalid_argument] on an unknown attribute. *)
 
+val ensure_columns : ?pool:Domain_pool.t -> t -> string list -> unit
+(** Encode every still-missing column among the given attributes,
+    fanning the independent per-column passes over [pool] when one is
+    given (each task writes only its own slot; dictionaries are
+    identical to sequential encoding because interning stays in row
+    order per column). Call only from the domain that owns the store. *)
+
 val distinct_set : t -> string list -> (Value.t list, unit) Hashtbl.t
 (** Distinct NULL-free projections keyed exactly as
     [Table.distinct_table] keys them — memoized; do not mutate. *)
@@ -85,7 +92,9 @@ val equijoin_distinct_count : t -> string list -> t -> string list -> int
 
 val partition : t -> string list -> partition
 (** Memoized stripped partition on the given attributes (NULL-holding
-    rows dropped). *)
+    rows dropped). Built from the code columns when they are already
+    encoded, else in one pass over the raw rows without encoding; both
+    builders group by the same structural equality. *)
 
 val partition_error : partition -> int
 (** [Σ (|c| - 1)] over groups. *)
@@ -95,6 +104,20 @@ val fd_holds : t -> lhs:string list -> rhs:string list -> bool
     memoized [lhs] partition against the [rhs] code columns (NULL-LHS
     rows exempt, NULL = NULL on the RHS — the naive engine's
     semantics); the verdict is memoized per [(lhs, rhs)]. *)
+
+val fd_batch :
+  ?pool:Domain_pool.t -> t -> lhs:string list -> rhs:string list ->
+  (string * bool) list
+(** Batched form of {!fd_holds} for one shared LHS: the [lhs] stripped
+    partition is computed once and every [rhs] attribute is answered by
+    a single refinement sweep over it, instead of [|rhs|] independent
+    full passes. Nothing is dictionary-encoded on this path (each
+    attribute is read exactly once, so an encode pass would outweigh
+    the batch win); sweeps run over raw values, or over codes for
+    columns that happen to be warm. Already-memoized verdicts are
+    reused; fresh ones are memoized. With [pool], the sweeps fan out
+    over the worker domains; results are returned in [rhs] order
+    regardless (see the {!Domain_pool} determinism contract). *)
 
 val group_rows : t -> string list -> (Value.t list, int list) Hashtbl.t
 (** Row indices grouped by projection with NULL as an ordinary value —

@@ -313,24 +313,6 @@ let load ?(header = true) ?(mode = `Strict) rel csv =
       let table, report = load_lenient ~header rel csv in
       Ok (table, if Quarantine.is_empty report then None else Some report)
 
-(* Deprecated pre-[load] entry points, kept as thin wrappers so existing
-   callers keep building. *)
-
-let load_table ?header rel csv =
-  match load ?header ~mode:`Strict rel csv with
-  | Ok (table, _) -> table
-  | Stdlib.Error e -> raise (Error.Error e)
-
-let load_table_lenient ?header rel csv =
-  match load ?header ~mode:`Quarantine rel csv with
-  | Ok (table, Some report) -> (table, report)
-  | Ok (table, None) ->
-      (* no quarantined tuple: reconstruct the all-clear report *)
-      let n = Table.cardinality table in
-      (table, { Quarantine.relation = rel.Relation.name;
-                total_rows = n; kept = n; entries = [] })
-  | Stdlib.Error e -> raise (Error.Error e)
-
 let dump_table ?(header = true) table =
   let rel = Table.schema table in
   let hdr = if header then [ rel.Relation.attrs ] else [] in

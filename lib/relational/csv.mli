@@ -57,17 +57,5 @@ val load :
     each reported as a table-level entry. The surviving extension is
     what dependency discovery will run against. *)
 
-val load_table : ?header:bool -> Relation.t -> string -> Table.t
-[@@deprecated "use Csv.load ~mode:`Strict"]
-(** @deprecated Thin wrapper over [load ~mode:`Strict] re-raising the
-    error as [Error.Error]. Use {!load}. *)
-
-val load_table_lenient :
-  ?header:bool -> Relation.t -> string -> Table.t * Quarantine.report
-[@@deprecated "use Csv.load ~mode:`Quarantine"]
-(** @deprecated Thin wrapper over [load ~mode:`Quarantine] that always
-    materializes a report (empty when nothing was quarantined). Use
-    {!load}. *)
-
 val dump_table : ?header:bool -> Table.t -> string
 (** Render a table's extension as CSV (header row by default). *)

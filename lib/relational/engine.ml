@@ -13,11 +13,16 @@ let naive = make ~check:Naive ~cache:Cache_off ()
 let partition = make ~check:Partition ~cache:Cache_off ()
 let columnar = make ()
 
+(* hosts can recommend absurd counts (128-core build machines); past
+   ~16 domains every stage here is memory-bound and extra workers only
+   buy GC-barrier contention *)
+let max_domains = 16
+
 let parallel ?domains () =
   let n =
     match domains with
     | Some d -> max 1 d
-    | None -> Stdlib.Domain.recommended_domain_count ()
+    | None -> min max_domains (Stdlib.Domain.recommended_domain_count ())
   in
   make ~parallelism:(if n <= 1 then Sequential else Domains n) ()
 
@@ -55,3 +60,16 @@ let pp ppf t =
     | Domains n -> Printf.sprintf "%d-domains" n)
 
 let to_string t = Format.asprintf "%a" pp t
+
+let describe t =
+  Printf.sprintf "%s [%d domain%s resolved; host recommends %d, cap %d]"
+    (to_string t) (domain_count t)
+    (if domain_count t = 1 then "" else "s")
+    (Stdlib.Domain.recommended_domain_count ())
+    max_domains
+
+let pool t =
+  match t.parallelism with
+  | Sequential -> None
+  | Domains n when n <= 1 -> None
+  | Domains n -> Some (Domain_pool.get (min n max_domains))

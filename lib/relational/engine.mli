@@ -52,10 +52,17 @@ val partition : t
 val columnar : t
 (** Alias of {!default}. *)
 
+val max_domains : int
+(** Ceiling (16) applied to the host recommendation: past it the
+    stages here are memory-bound and extra domains only buy GC-barrier
+    contention. Explicit [~domains] requests are not capped at
+    construction; {!pool} clamps them when handing out workers. *)
+
 val parallel : ?domains:int -> unit -> t
 (** Columnar + shared caches + [Domains n]. [n] defaults to
-    [Stdlib.Domain.recommended_domain_count ()]; when that is 1 the
-    engine degrades to [Sequential]. *)
+    [Stdlib.Domain.recommended_domain_count ()] capped at
+    {!max_domains}; when the result is 1 the engine degrades to
+    [Sequential]. *)
 
 val of_fd_variant : [ `Naive | `Partition ] -> t
 (** Migration helper for call sites still holding the retired
@@ -70,6 +77,17 @@ val of_string : string -> t option
 (** ["naive" | "partition" | "columnar" | "default" | "parallel" |
     "parallel:<n>"] — CLI parsing. *)
 
+val pool : t -> Domain_pool.t option
+(** The persistent worker pool backing this engine's parallelism:
+    [None] for [Sequential] (and for [Domains n] with [n <= 1]),
+    otherwise the process-wide shared {!Domain_pool.get} of the
+    engine's domain count (clamped to {!max_domains}) — spawned once on
+    first use and reused across all pipeline stages. *)
+
 val check_to_string : check -> string
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val describe : t -> string
+(** {!to_string} plus the resolved domain count, the host
+    recommendation and the {!max_domains} cap — for bench logs. *)

@@ -24,6 +24,16 @@ let default_spec =
     seed = 42L;
   }
 
+let scale factor spec =
+  if not (factor > 0.) then
+    invalid_arg (Printf.sprintf "Gen_schema.scale: factor %g not positive" factor);
+  let by n = max 1 (int_of_float (Float.round (float_of_int n *. factor))) in
+  {
+    spec with
+    rows_per_entity = by spec.rows_per_entity;
+    rows_per_denorm = by spec.rows_per_denorm;
+  }
+
 type ground_truth = { planted_inds : Ind.t list; planted_fds : Fd.t list }
 
 type t = {

@@ -26,6 +26,14 @@ val default_spec : spec
 (** 4 entities × 1000 rows, 2 denorm relations with 3 refs × 2 payload
     attributes and 2000 rows, 5% NULL refs, seed 42. *)
 
+val scale : float -> spec -> spec
+(** [scale f spec] multiplies the extension sizes ([rows_per_entity],
+    [rows_per_denorm]) by [f], rounding to nearest with a floor of one
+    row; schema shape (entities, references, payloads) is untouched, so
+    the planted ground truth is the same dependencies over a larger or
+    smaller extension. [scale 500. default_spec] yields million-tuple
+    denorm extensions. Raises [Invalid_argument] if [f <= 0]. *)
+
 type ground_truth = {
   planted_inds : Ind.t list;  (** [D_j.ref_k ≪ E_i.id], key-based *)
   planted_fds : Fd.t list;  (** [D_j : ref_k -> payload_k*] *)
