@@ -23,17 +23,21 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
-let load_database ?(lenient = false) ~ddl_path ~data_dir () =
+let load_database ?(lenient = false) ?(engine = Engine.default) ~ddl_path
+    ~data_dir () =
   let schema, _fks = Sqlx.Ddl.schema_of_script (read_file ddl_path) in
   let db = Database.create schema in
   let reports = ref [] in
   let mode = if lenient then `Quarantine else `Strict in
+  let pool = Engine.pool engine in
   List.iter
     (fun rel ->
       let name = rel.Relation.name in
       let csv_path = Filename.concat data_dir (name ^ ".csv") in
       if Sys.file_exists csv_path then
-        match Csv.load ~mode rel (read_file csv_path) with
+        (* the streaming loader reads the file in chunks itself — no
+           whole-file slurp — and surfaces read failures as Error.t *)
+        match Csv.load_file ~mode ?pool rel csv_path with
         | Ok (table, report) ->
             Option.iter (fun r -> reports := r :: !reports) report;
             Database.replace_table db table
@@ -293,7 +297,7 @@ let analyze_cmd =
         else
           handle_errors ~hint:(not lenient) @@ fun () ->
           let db, quarantine =
-            load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
+            load_database ~lenient ~engine ~ddl_path:ddl ~data_dir:data ()
           in
           print_quarantine quarantine;
           let config =
@@ -339,7 +343,7 @@ let inds_cmd =
     | Ok oracle, Ok engine ->
         handle_errors ~hint:(not lenient) @@ fun () ->
         let db, quarantine =
-          load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
+          load_database ~lenient ~engine ~ddl_path:ddl ~data_dir:data ()
         in
         print_quarantine quarantine;
         let joins =
@@ -443,7 +447,7 @@ let migrate_cmd =
     | Ok oracle, Ok engine -> (
         handle_errors ~hint:(not lenient) @@ fun () ->
         let db, quarantine =
-          load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
+          load_database ~lenient ~engine ~ddl_path:ddl ~data_dir:data ()
         in
         print_quarantine quarantine;
         let original = Database.schema db in
@@ -469,7 +473,7 @@ let migrate_cmd =
             | None -> print_string sql);
             if verify then begin
               let fresh, _ =
-                load_database ~lenient ~ddl_path:ddl ~data_dir:data ()
+                load_database ~lenient ~engine ~ddl_path:ddl ~data_dir:data ()
               in
               Sqlx.Exec.exec_script fresh sql;
               let expected =

@@ -53,7 +53,7 @@ let load_extension config rel csv =
     | `Fail -> `Strict
     | `Quarantine -> `Quarantine
   in
-  match Csv.load ~mode rel csv with
+  match Csv.load ~mode ?pool:(Engine.pool config.engine) rel csv with
   | Ok loaded -> loaded
   | Stdlib.Error e -> raise (Error.Error e)
 

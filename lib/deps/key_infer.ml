@@ -86,10 +86,9 @@ let apply_suggestions ?engine ?max_size ~confirm db =
           if confirm rel_name key then begin
             let table = Database.table db rel_name in
             let updated = Relation.add_unique (Table.schema table) key in
-            (* rebuild the table under the updated schema *)
-            let fresh = Table.create updated in
-            Array.iter (Table.insert_tuple fresh) (Table.rows table);
-            Database.replace_table db fresh;
+            (* constraint-only schema update: share the backing storage
+               and the encoded column store instead of an O(n) rebuild *)
+            Database.replace_table db (Table.with_schema table updated);
             incr added
           end)
         keys)

@@ -668,3 +668,272 @@ let stats t =
     fd_verdicts = Hashtbl.length t.fd_verdicts;
     join_counts = Hashtbl.length t.join_counts;
   }
+
+(* ------------------------------------------------------------------ *)
+(* streaming builder                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type vec = { mutable data : int array; mutable len : int }
+
+  let vec_create () = { data = Array.make 256 0; len = 0 }
+
+  let vec_push v x =
+    if v.len = Array.length v.data then begin
+      let d = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 d 0 v.len;
+      v.data <- d
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  (* Flat open-addressing intern table. Same key semantics as the
+     polymorphic hashtable [encode] uses — [compare _ _ = 0] for
+     identity — so a finished builder's dictionaries are
+     indistinguishable from a post-hoc encode of the same rows; but
+     probing flat arrays allocates nothing per lookup, which matters
+     when every cell of a bulk load passes through.
+
+     [Value.Int] keys (the shape of key-like columns, where nearly
+     every cell misses) get their own unboxed side table: no box to
+     hash or chase on a probe. Cross-constructor values never compare
+     equal, so partitioning by constructor cannot change identity. *)
+  type vtab = {
+    mutable v_cap : int;  (* power of two *)
+    mutable v_size : int;
+    mutable v_hs : int array;  (* 0 = empty slot, else [hash lor 1] *)
+    mutable v_keys : Value.t array;
+    mutable v_codes : int array;
+    mutable n_cap : int;  (* the Value.Int side, unboxed *)
+    mutable n_size : int;
+    mutable n_tab : int array;  (* interleaved [key; code] pairs *)
+  }
+
+  (* the int side keys slots directly by value; [min_int] marks an
+     empty slot (Int min_int itself goes through the boxed side) *)
+  let ntab_make cap = Array.init (2 * cap) (fun j -> if j land 1 = 0 then min_int else 0)
+
+  let vtab_create () =
+    {
+      v_cap = 256;
+      v_size = 0;
+      v_hs = Array.make 256 0;
+      v_keys = Array.make 256 Value.Null;
+      v_codes = Array.make 256 0;
+      n_cap = 256;
+      n_size = 0;
+      n_tab = ntab_make 256;
+    }
+
+  (* Placement only, never identity. Low bits pass through so runs of
+     sequential keys occupy sequential slots (cache-friendly inserts and
+     rehashes); high bits are folded in so huge keys still spread. *)
+  let int_hash n = (n lxor (n lsr 32)) land max_int
+
+  let ntab_slot t n =
+    let mask = t.n_cap - 1 in
+    let i = ref (int_hash n land mask) in
+    while
+      let k = Array.unsafe_get t.n_tab (2 * !i) in
+      k <> min_int && k <> n
+    do
+      i := (!i + 1) land mask
+    done;
+    !i
+
+  let ntab_grow t =
+    let old = t.n_tab and old_cap = t.n_cap in
+    let cap = t.n_cap * 2 in
+    t.n_cap <- cap;
+    t.n_tab <- ntab_make cap;
+    let mask = cap - 1 in
+    for j = 0 to old_cap - 1 do
+      let k = old.(2 * j) in
+      if k <> min_int then begin
+        let i = ref (int_hash k land mask) in
+        while t.n_tab.(2 * !i) <> min_int do
+          i := (!i + 1) land mask
+        done;
+        t.n_tab.(2 * !i) <- k;
+        t.n_tab.((2 * !i) + 1) <- old.((2 * j) + 1)
+      end
+    done
+
+  (* indices are masked to the (power-of-two) capacity, so the
+     unchecked reads cannot go out of bounds *)
+  let vtab_slot t h v =
+    let mask = t.v_cap - 1 in
+    let i = ref (h land mask) in
+    while
+      let h' = Array.unsafe_get t.v_hs !i in
+      h' <> 0
+      && not (h' = h && Stdlib.compare (Array.unsafe_get t.v_keys !i) v = 0)
+    do
+      i := (!i + 1) land mask
+    done;
+    !i
+
+  (* quadruple once the table is clearly high-cardinality: rehashing is
+     the dominant interning cost for key-like columns, and fewer, larger
+     steps move each entry O(1) times instead of O(log n) *)
+  let vtab_grow t =
+    let old_hs = t.v_hs and old_keys = t.v_keys and old_codes = t.v_codes in
+    let cap = t.v_cap * if t.v_cap >= 65536 then 4 else 2 in
+    t.v_cap <- cap;
+    t.v_hs <- Array.make cap 0;
+    t.v_keys <- Array.make cap Value.Null;
+    t.v_codes <- Array.make cap 0;
+    let mask = cap - 1 in
+    Array.iteri
+      (fun j h ->
+        if h <> 0 then begin
+          let i = ref (h land mask) in
+          while t.v_hs.(!i) <> 0 do
+            i := (!i + 1) land mask
+          done;
+          t.v_hs.(!i) <- h;
+          t.v_keys.(!i) <- old_keys.(j);
+          t.v_codes.(!i) <- old_codes.(j)
+        end)
+      old_hs
+
+  (* growable dictionary in code order; slot 0 is the NULL code *)
+  type dvec = { mutable ddata : Value.t array; mutable dlen : int }
+
+  let dvec_create () = { ddata = Array.make 256 Value.Null; dlen = 1 }
+
+  let dvec_push d v =
+    if d.dlen = Array.length d.ddata then begin
+      let a = Array.make (2 * d.dlen) Value.Null in
+      Array.blit d.ddata 0 a 0 d.dlen;
+      d.ddata <- a
+    end;
+    d.ddata.(d.dlen) <- v;
+    d.dlen <- d.dlen + 1
+
+  type b = {
+    b_rel : Relation.t;
+    b_arity : int;
+    b_codes : vec array;  (* per attribute position, row-aligned *)
+    b_intern : vtab array;
+    b_dict : dvec array;  (* per column, indexed by code *)
+    b_next : int array;  (* next free code per column *)
+    b_nulls : int array;
+    mutable b_rows : int;
+  }
+
+  type t = b
+
+  let create rel =
+    let arity = Relation.arity rel in
+    {
+      b_rel = rel;
+      b_arity = arity;
+      b_codes = Array.init arity (fun _ -> vec_create ());
+      b_intern = Array.init arity (fun _ -> vtab_create ());
+      b_dict = Array.init arity (fun _ -> dvec_create ());
+      b_next = Array.make arity 1;
+      b_nulls = Array.make arity 0;
+      b_rows = 0;
+    }
+
+  let rows b = b.b_rows
+
+  let intern b pos v =
+    match v with
+    | Value.Null -> 0
+    | Value.Int n when n <> min_int ->
+        let t = b.b_intern.(pos) in
+        let i = ntab_slot t n in
+        if t.n_tab.(2 * i) <> min_int then t.n_tab.((2 * i) + 1)
+        else begin
+          let c = b.b_next.(pos) in
+          b.b_next.(pos) <- c + 1;
+          let i =
+            if (t.n_size + 1) * 2 > t.n_cap then begin
+              ntab_grow t;
+              ntab_slot t n
+            end
+            else i
+          in
+          t.n_tab.(2 * i) <- n;
+          t.n_tab.((2 * i) + 1) <- c;
+          t.n_size <- t.n_size + 1;
+          dvec_push b.b_dict.(pos) v;
+          c
+        end
+    | _ ->
+        let t = b.b_intern.(pos) in
+        let h = Hashtbl.hash v lor 1 in
+        let i = vtab_slot t h v in
+        if t.v_hs.(i) <> 0 then t.v_codes.(i)
+        else begin
+          let c = b.b_next.(pos) in
+          b.b_next.(pos) <- c + 1;
+          let i =
+            if (t.v_size + 1) * 2 > t.v_cap then begin
+              vtab_grow t;
+              vtab_slot t h v
+            end
+            else i
+          in
+          t.v_hs.(i) <- h;
+          t.v_keys.(i) <- v;
+          t.v_codes.(i) <- c;
+          t.v_size <- t.v_size + 1;
+          dvec_push b.b_dict.(pos) v;
+          c
+        end
+
+  let append b codes =
+    if Array.length codes <> b.b_arity then
+      invalid_arg "Column_store.Builder.append: arity mismatch";
+    for p = 0 to b.b_arity - 1 do
+      let c = codes.(p) in
+      vec_push b.b_codes.(p) c;
+      if c = 0 then b.b_nulls.(p) <- b.b_nulls.(p) + 1
+    done;
+    b.b_rows <- b.b_rows + 1
+
+  (* Merge [src] (a chunk-local builder) onto the end of [dst].
+     Appending chunk dictionaries in chunk order reproduces the global
+     first-occurrence interning order, so the merged store is identical
+     to a sequential build over the concatenated rows. *)
+  let merge dst src =
+    if dst.b_arity <> src.b_arity then
+      invalid_arg "Column_store.Builder.merge: arity mismatch";
+    for p = 0 to dst.b_arity - 1 do
+      let local = src.b_dict.(p) in
+      let remap = Array.make local.dlen 0 in
+      for c = 1 to local.dlen - 1 do
+        remap.(c) <- intern dst p local.ddata.(c)
+      done;
+      let sv = src.b_codes.(p) in
+      let dv = dst.b_codes.(p) in
+      for i = 0 to sv.len - 1 do
+        vec_push dv remap.(sv.data.(i))
+      done;
+      dst.b_nulls.(p) <- dst.b_nulls.(p) + src.b_nulls.(p)
+    done;
+    dst.b_rows <- dst.b_rows + src.b_rows
+
+  let finish b =
+    let cols =
+      Array.init b.b_arity (fun p ->
+          {
+            codes = Array.sub b.b_codes.(p).data 0 b.b_codes.(p).len;
+            dict = Array.sub b.b_dict.(p).ddata 0 b.b_dict.(p).dlen;
+            nulls = b.b_nulls.(p);
+          })
+    in
+    let n = b.b_rows in
+    let produce () =
+      Array.init n (fun i ->
+          Array.map (fun (c : column) -> c.dict.(c.codes.(i))) cols)
+    in
+    let table = Table.create_deferred b.b_rel ~size:n produce in
+    let store = build table in
+    Array.iteri (fun p c -> store.columns.(p) <- Some c) cols;
+    Table.set_ext_cache table (Store store);
+    table
+end

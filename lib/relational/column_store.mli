@@ -134,3 +134,45 @@ type stats = {
 
 val stats : t -> stats
 (** Cache occupancy, for tests and instrumentation. *)
+
+(** Streaming store construction: the ingest path appends dictionary
+    codes column-by-column as rows arrive, so the store exists the
+    moment loading finishes — no second encode pass, and no eager tuple
+    array (see {!Table.create_deferred}).
+
+    Interning is the same polymorphic-hashtable structural equality as
+    the post-hoc encoder, and codes are assigned in row order, so a
+    finished builder is indistinguishable from [of_table] + encode over
+    the same rows. *)
+module Builder : sig
+  type b
+  type t = b
+
+  val create : Relation.t -> t
+
+  val intern : t -> int -> Value.t -> int
+  (** [intern b pos v] is the dictionary code for [v] in the column at
+      attribute position [pos] (NULL is always 0), allocating the next
+      code on first sight. Interning a value does not append a row:
+      callers stage a whole row's codes, then {!append} once — rows
+      rejected mid-parse must never touch the dictionary. *)
+
+  val append : t -> int array -> unit
+  (** Append one row of codes (one per attribute position, in
+      declaration order). The array is copied; callers may reuse it. *)
+
+  val rows : t -> int
+
+  val merge : t -> t -> unit
+  (** [merge dst src] appends [src]'s rows after [dst]'s, re-interning
+      [src]'s chunk-local dictionaries with a code-remap sweep. Merging
+      parallel chunks in input order reproduces the sequential
+      first-occurrence dictionaries exactly. [src] must not be used
+      afterwards. *)
+
+  val finish : t -> Table.t
+  (** Freeze the builder into a lazily-materialized table (see
+      {!Table.create_deferred}) whose memoized column store is already
+      fully encoded — [of_table] on the result is a cache hit with
+      every column present. *)
+end

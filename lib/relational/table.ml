@@ -1,8 +1,13 @@
 type ext = ..
 
+(* Backing storage: either the classic reversed insertion list, or a
+   thunk that produces the whole row array on first demand (columnar
+   loads keep tuples virtual until someone actually asks for rows). *)
+type source = Rows of Tuple.t list | Deferred of (unit -> Tuple.t array)
+
 type t = {
   schema : Relation.t;
-  mutable rev_rows : Tuple.t list;
+  mutable source : source;
   mutable size : int;
   mutable cache : Tuple.t array option;
   mutable version : int;
@@ -10,7 +15,12 @@ type t = {
 }
 
 let create schema =
-  { schema; rev_rows = []; size = 0; cache = None; version = 0; ext = None }
+  { schema; source = Rows []; size = 0; cache = None; version = 0; ext = None }
+
+let create_deferred schema ~size produce =
+  if size < 0 then invalid_arg "Table.create_deferred: negative size";
+  { schema; source = Deferred produce; size; cache = None; version = 0;
+    ext = None }
 
 let schema t = t.schema
 let cardinality t = t.size
@@ -18,13 +28,50 @@ let version t = t.version
 let ext_cache t = t.ext
 let set_ext_cache t e = t.ext <- Some e
 
+let materialized t =
+  t.cache <> None
+  || (match t.source with Rows _ -> true | Deferred _ -> false)
+
+let rows t =
+  match t.cache with
+  | Some a -> a
+  | None -> (
+      match t.source with
+      | Rows rev ->
+          let a = Array.make t.size [||] in
+          let rec fill i = function
+            | [] -> ()
+            | r :: rest ->
+                a.(i) <- r;
+                fill (i - 1) rest
+          in
+          fill (t.size - 1) rev;
+          t.cache <- Some a;
+          a
+      | Deferred produce ->
+          let a = produce () in
+          if Array.length a <> t.size then
+            invalid_arg
+              (Printf.sprintf
+                 "Table(%s): deferred backing produced %d rows, expected %d"
+                 t.schema.Relation.name (Array.length a) t.size);
+          t.cache <- Some a;
+          a)
+
 let insert_tuple t tup =
   if Array.length tup <> Relation.arity t.schema then
     invalid_arg
       (Printf.sprintf "Table.insert(%s): arity mismatch (%d, expected %d)"
          t.schema.Relation.name (Array.length tup)
          (Relation.arity t.schema));
-  t.rev_rows <- tup :: t.rev_rows;
+  let prev =
+    match t.source with
+    | Rows rev -> rev
+    | Deferred _ ->
+        (* a deferred table becomes list-backed on its first insert *)
+        Array.fold_left (fun acc r -> r :: acc) [] (rows t)
+  in
+  t.source <- Rows (tup :: prev);
   t.size <- t.size + 1;
   t.cache <- None;
   t.version <- t.version + 1;
@@ -33,20 +80,12 @@ let insert_tuple t tup =
 let insert t values = insert_tuple t (Tuple.of_list values)
 let insert_many t rows = List.iter (insert t) rows
 
-let rows t =
-  match t.cache with
-  | Some a -> a
-  | None ->
-      let a = Array.make t.size [||] in
-      let rec fill i = function
-        | [] -> ()
-        | r :: rest ->
-            a.(i) <- r;
-            fill (i - 1) rest
-      in
-      fill (t.size - 1) t.rev_rows;
-      t.cache <- Some a;
-      a
+let with_schema t schema =
+  if schema.Relation.attrs <> t.schema.Relation.attrs then
+    invalid_arg
+      (Printf.sprintf "Table.with_schema(%s): attribute lists differ"
+         t.schema.Relation.name);
+  { t with schema }
 
 let to_lists t = Array.to_list (Array.map Tuple.to_list (rows t))
 

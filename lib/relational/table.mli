@@ -18,6 +18,27 @@ type ext = ..
 val create : Relation.t -> t
 (** An empty table over the given schema. *)
 
+val create_deferred : Relation.t -> size:int -> (unit -> Tuple.t array) -> t
+(** A table of [size] rows whose tuple array is produced lazily by the
+    thunk on the first {!rows} demand (columnar loaders keep tuples
+    virtual; pipeline paths that only touch the column store never pay
+    for them). The thunk must return exactly [size] tuples and must not
+    re-enter this table. Forcing does not bump {!version}; the first
+    {!insert} materializes the backing and behaves as usual from then
+    on. *)
+
+val materialized : t -> bool
+(** Has the tuple array been built (or was this table list-backed from
+    the start)? [false] exactly while a deferred backing is still
+    unforced — observability for laziness tests. *)
+
+val with_schema : t -> Relation.t -> t
+(** [with_schema t rel] is a view of [t] under [rel] — same backing
+    storage, row cache and {!ext_cache} (no O(n) copy). [rel] must
+    declare exactly [t]'s attribute list (constraint-only updates, e.g.
+    {!Relation.add_unique}); raises [Invalid_argument] otherwise. The
+    two views share state only up to the next insert into either. *)
+
 val schema : t -> Relation.t
 val cardinality : t -> int
 
