@@ -1287,11 +1287,149 @@ let b14 () =
     (if identical then 1.0 else 0.0)
     "bool"
 
+(* ------------------------------------------------------------------ *)
+(* B15: supervised execution runtime                                    *)
+(* ------------------------------------------------------------------ *)
+
+let b15_rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let b15 () =
+  section "B15: supervision overhead + deadline degradation and resume";
+  let g = Workload.Gen_schema.generate (b13_spec ()) in
+  let db = g.Workload.Gen_schema.db in
+  let reps = if !smoke then 2 else 7 in
+
+  (* overhead: the exact B13 FD-batch shape, bare vs threaded with an
+     armed (never-tripping) deadline+heap token — the full cost of the
+     sweep-granularity polls, including their Gc.quick_stat reads *)
+  let f =
+    List.hd g.Workload.Gen_schema.truth.Workload.Gen_schema.planted_fds
+  in
+  let table = Database.table db f.Deps.Fd.rel in
+  let rel = Table.schema table in
+  let lhs = f.Deps.Fd.lhs in
+  let key = Relation.key_attrs rel in
+  let rhs =
+    List.filter
+      (fun b -> (not (List.mem b lhs)) && not (List.mem b key))
+      rel.Relation.attrs
+  in
+  let cold = Engine.make ~cache:Engine.Cache_off () in
+  let bare () = Deps.Fd_infer.holds_all ~engine:cold table ~lhs ~rhs in
+  let supervised () =
+    let supervise =
+      Supervise.create ~deadline_s:3600.0 ~max_heap_words:(1 lsl 50) ()
+    in
+    Deps.Fd_infer.holds_all ~engine:cold ~supervise table ~lhs ~rhs
+  in
+  Printf.printf "  verdicts agree bare vs supervised: %b\n"
+    (bare () = supervised ());
+  let bare_ns = b13_time reps bare in
+  let supervised_ns = b13_time reps supervised in
+  let overhead_pct = ((supervised_ns /. bare_ns) -. 1.0) *. 100.0 in
+  Printf.printf
+    "  fd batch: bare %s, supervised %s -> %.2f%% overhead (target: < 3%%)\n"
+    (pretty_time bare_ns) (pretty_time supervised_ns) overhead_pct;
+  record "supervise/bare" bare_ns "ns";
+  record "supervise/supervised" supervised_ns "ns";
+  (* the --check gate: bare/supervised >= 0.97 <=> overhead <= ~3.1%;
+     like the other timing floors it is enforced outside --smoke only
+     (smoke timings are noise) *)
+  record ?target:(full_target 0.97) "supervise/overhead-margin"
+    (bare_ns /. supervised_ns) "x";
+
+  (* graceful degradation + resume: trip a deterministic fuel budget
+     mid-IND-discovery with checkpointing on, then resume unbudgeted
+     from the partial artifacts on a fresh copy of the database — the
+     finished F, H, IND and RIC must be byte-identical to a run that
+     never carried a budget *)
+  let spec = b13_artifact_spec () in
+  let config =
+    {
+      Dbre.Pipeline.default_config with
+      Dbre.Pipeline.migrate_data = false;
+    }
+  in
+  let render (r : Dbre.Pipeline.result) =
+    Format.asprintf "F=%a@.H=%a@.IND=%a@.RIC=%a@." Dbre.Report.pp_fds
+      r.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.fds Dbre.Report.pp_qattrs
+      r.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.hidden Dbre.Report.pp_inds
+      r.Dbre.Pipeline.ind_result.Dbre.Ind_discovery.inds Dbre.Report.pp_inds
+      r.Dbre.Pipeline.restruct_result.Dbre.Restruct.ric
+  in
+  let full =
+    let g = Workload.Gen_schema.generate spec in
+    render
+      (Dbre.Pipeline.run ~config g.Workload.Gen_schema.db
+         (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins))
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dbre-b15-%d" (Unix.getpid ()))
+  in
+  b15_rm_rf dir;
+  let budgeted =
+    let g = Workload.Gen_schema.generate spec in
+    Dbre.Pipeline.run_checked ~config
+      ~supervise:(Supervise.create ~fuel:10 ())
+      ~checkpoint_dir:dir g.Workload.Gen_schema.db
+      (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+  in
+  let degraded =
+    match budgeted with
+    | Ok r ->
+        r.Dbre.Pipeline.ind_result.Dbre.Ind_discovery.unverified <> []
+        || r.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.unverified <> []
+    | Error _ -> false
+  in
+  Printf.printf "  fuel-tripped run degraded to a typed partial: %b\n"
+    degraded;
+  let resumed =
+    let g = Workload.Gen_schema.generate spec in
+    render
+      (Dbre.Pipeline.run ~config ~checkpoint_dir:dir ~resume_from:dir
+         g.Workload.Gen_schema.db
+         (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins))
+  in
+  b15_rm_rf dir;
+  let identical = resumed = full in
+  Printf.printf
+    "  artifacts (F, H, IND, RIC) byte-identical resumed vs unbudgeted: %s\n"
+    (if identical then "OK" else "FAILED");
+  record ~target:1.0 "resume/byte-identical" (if identical then 1.0 else 0.0)
+    "bool";
+  record ~target:1.0 "degrade/typed-partial" (if degraded then 1.0 else 0.0)
+    "bool";
+
+  (* informational: a short wall-clock deadline over the scaled workload
+     exits cleanly (no exception) with whatever prefix fit the budget *)
+  let t0 = Unix.gettimeofday () in
+  let clean =
+    match
+      Dbre.Pipeline.run_checked ~config
+        ~supervise:(Supervise.create ~deadline_s:0.05 ())
+        db
+        (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+    with
+    | Ok _ -> true
+    | Error _ -> false
+    | exception _ -> false
+  in
+  Printf.printf "  50ms-deadline run on the scaled DB: clean exit %b in %s\n"
+    clean
+    (pretty_time ((Unix.gettimeofday () -. t0) *. 1e9));
+  record ~target:1.0 "deadline/clean-exit" (if clean then 1.0 else 0.0) "bool"
+
 let all_benches =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
-    ("b12", b12); ("b13", b13); ("b14", b14);
+    ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15);
   ]
 
 let () =

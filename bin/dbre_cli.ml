@@ -100,6 +100,51 @@ let parse_engine s =
         (Printf.sprintf
            "unknown engine %S (use naive|partition|columnar|parallel[:<n>])" s)
 
+let deadline_arg =
+  let doc =
+    "Wall-clock budget for the run, in seconds. When it trips, discovery \
+     stages stop at their current group boundary and the result carries \
+     the unverified remainder (see --on-budget-exhausted)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+let max_heap_arg =
+  let doc =
+    "Major-heap budget, in MiB. Checked at the same group boundaries as \
+     --deadline."
+  in
+  Arg.(value & opt (some int) None & info [ "max-heap" ] ~docv:"MIB" ~doc)
+
+let on_exhausted_arg =
+  let doc =
+    "What a tripped budget does: 'partial' (default) degrades gracefully \
+     to a typed partial result whose report lists the unverified groups; \
+     'fail' aborts the stage with a resource-exhausted error."
+  in
+  Arg.(
+    value
+    & opt string "partial"
+    & info [ "on-budget-exhausted" ] ~docv:"POLICY" ~doc)
+
+(* layer the budget flags onto the parsed engine; [Engine.supervisor]
+   then mints the run's token from it inside the pipeline *)
+let with_budget ~deadline ~max_heap_mb ~policy engine =
+  match policy with
+  | "partial" | "fail" ->
+      let on_exhausted = if policy = "fail" then `Fail else `Partial in
+      let max_heap_words =
+        Option.map (fun mb -> mb * 1024 * 1024 / (Sys.word_size / 8)) max_heap_mb
+      in
+      Ok
+        (if deadline = None && max_heap_words = None && on_exhausted = `Partial
+         then engine
+         else
+           Dbre.Engine.with_budget ?deadline_s:deadline ?max_heap_words
+             ~on_exhausted engine)
+  | s ->
+      Error
+        (Printf.sprintf "unknown --on-budget-exhausted %S (use partial|fail)" s)
+
 let lenient_arg =
   let doc =
     "Quarantine unparseable or ill-typed tuples instead of aborting; \
@@ -283,9 +328,13 @@ let with_lint_hooks lint config =
     }
 
 let analyze_cmd =
-  let run ddl data programs oracle engine lenient lint checkpoint_dir resume
-      dot markdown =
-    match (parse_oracle oracle, parse_engine engine) with
+  let run ddl data programs oracle engine deadline max_heap_mb on_exhausted
+      lenient lint checkpoint_dir resume dot markdown =
+    let engine =
+      Result.bind (parse_engine engine)
+        (with_budget ~deadline ~max_heap_mb ~policy:on_exhausted)
+    in
+    match (parse_oracle oracle, engine) with
     | Error msg, _ | _, Error msg ->
         prerr_endline msg;
         1
@@ -327,8 +376,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ engine_arg
-      $ lenient_arg $ lint_hooks_arg $ checkpoint_arg $ resume_arg $ dot_arg
-      $ markdown_arg)
+      $ deadline_arg $ max_heap_arg $ on_exhausted_arg $ lenient_arg
+      $ lint_hooks_arg $ checkpoint_arg $ resume_arg $ dot_arg $ markdown_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inds                                                                 *)

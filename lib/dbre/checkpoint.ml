@@ -21,11 +21,24 @@ let path ~dir stage =
   Filename.concat dir
     (Printf.sprintf "%d-%s.ckpt" (stage_index stage) (stage_name stage))
 
-let version = 1
+let version = 2
 
 exception Corrupt of string
 
 let corrupt msg = raise (Corrupt msg)
+
+(* Content checksum (v2): FNV-1a 64 over the canonical serialization
+   of the payload sexp. Verified on read against a re-serialization of
+   the parsed payload, so a file that was truncated or hand-edited into
+   something still parseable is detected as corrupt (and recomputed)
+   rather than resumed from. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
 
 (* --- generic sexp helpers --- *)
 
@@ -179,6 +192,42 @@ let ind_of_sexp s = Ind.parse (atom s)
 let sexp_of_fd f = Sexp.Atom (Fd.to_string f)
 let fd_of_sexp s = Fd.parse (atom s)
 
+let sexp_of_reason = function
+  | Supervise.Cancelled -> Sexp.Atom "cancelled"
+  | Supervise.Deadline { limit_s; elapsed_s } ->
+      tagged "deadline"
+        [
+          Sexp.Atom (Printf.sprintf "%h" limit_s);
+          Sexp.Atom (Printf.sprintf "%h" elapsed_s);
+        ]
+  | Supervise.Heap { limit_words; live_words } ->
+      tagged "heap"
+        [
+          Sexp.Atom (string_of_int limit_words);
+          Sexp.Atom (string_of_int live_words);
+        ]
+
+let reason_of_sexp = function
+  | Sexp.Atom "cancelled" -> Supervise.Cancelled
+  | Sexp.List [ Sexp.Atom "deadline"; l; e ] -> (
+      match (float_of_string_opt (atom l), float_of_string_opt (atom e)) with
+      | Some limit_s, Some elapsed_s -> Supervise.Deadline { limit_s; elapsed_s }
+      | _ -> corrupt "bad deadline reason")
+  | Sexp.List [ Sexp.Atom "heap"; l; w ] ->
+      Supervise.Heap { limit_words = int_atom l; live_words = int_atom w }
+  | _ -> corrupt "bad reason"
+
+(* [None] (a complete stage) serializes as an empty [exhausted] field
+   so v2 checkpoints always carry the completeness verdict explicitly *)
+let sexp_of_exhausted = function
+  | None -> tagged "exhausted" []
+  | Some r -> tagged "exhausted" [ sexp_of_reason r ]
+
+let exhausted_of_sexps = function
+  | [] -> None
+  | [ r ] -> Some (reason_of_sexp r)
+  | _ -> corrupt "bad exhausted"
+
 (* --- ind-discovery --- *)
 
 let sexp_of_counts (c : Ind.counts) =
@@ -288,6 +337,7 @@ let write_file ~dir stage payload =
       [
         tagged "version" [ Sexp.Atom (string_of_int version) ];
         tagged "stage" [ Sexp.Atom (stage_name stage) ];
+        tagged "checksum" [ Sexp.Atom (fnv1a64 (Sexp.to_string payload)) ];
         payload;
       ]
   in
@@ -312,9 +362,12 @@ let read_payload ~dir stage =
                 Sexp.Atom "checkpoint";
                 Sexp.List [ Sexp.Atom "version"; Sexp.Atom v ];
                 Sexp.List [ Sexp.Atom "stage"; Sexp.Atom s ];
+                Sexp.List [ Sexp.Atom "checksum"; Sexp.Atom sum ];
                 payload;
               ]))
-      when v = string_of_int version && s = stage_name stage ->
+      when v = string_of_int version
+           && s = stage_name stage
+           && String.equal sum (fnv1a64 (Sexp.to_string payload)) ->
         Some payload
     | _ -> None
 
@@ -337,6 +390,9 @@ let write_ind ~dir db (r : Ind_discovery.result) =
               (fun rel -> sexp_of_table (table_of rel))
               r.Ind_discovery.new_relations);
          tagged "steps" (List.map sexp_of_ind_step r.Ind_discovery.steps);
+         tagged "unverified"
+           (List.map sexp_of_join r.Ind_discovery.unverified);
+         sexp_of_exhausted r.Ind_discovery.exhausted;
        ])
 
 let load_ind ~dir db =
@@ -355,6 +411,8 @@ let load_ind ~dir db =
               Ind_discovery.inds;
               new_relations = List.map Table.schema tables;
               steps;
+              unverified = List.map join_of_sexp (assoc "unverified" fields);
+              exhausted = exhausted_of_sexps (assoc "exhausted" fields);
             }
         | _ -> corrupt "bad ind payload")
 
@@ -385,6 +443,9 @@ let write_rhs ~dir (r : Rhs_discovery.result) =
          tagged "fds" (List.map sexp_of_fd r.Rhs_discovery.fds);
          tagged "hidden" (List.map sexp_of_attr r.Rhs_discovery.hidden);
          tagged "steps" (List.map sexp_of_rhs_step r.Rhs_discovery.steps);
+         tagged "unverified"
+           (List.map sexp_of_attr r.Rhs_discovery.unverified);
+         sexp_of_exhausted r.Rhs_discovery.exhausted;
        ])
 
 let load_rhs ~dir =
@@ -397,6 +458,8 @@ let load_rhs ~dir =
               Rhs_discovery.fds = List.map fd_of_sexp (assoc "fds" fields);
               hidden = List.map attr_of_sexp (assoc "hidden" fields);
               steps = List.map rhs_step_of_sexp (assoc "steps" fields);
+              unverified = List.map attr_of_sexp (assoc "unverified" fields);
+              exhausted = exhausted_of_sexps (assoc "exhausted" fields);
             }
         | _ -> corrupt "bad rhs payload")
 

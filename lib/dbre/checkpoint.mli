@@ -1,11 +1,20 @@
 (** Per-stage pipeline checkpoints.
 
-    Each completed stage serializes its output artifact to
+    Each stage serializes its output artifact to
     [<dir>/<n>-<stage>.ckpt] as a single s-expression wrapped in
-    [(checkpoint (version 1) (stage ...) <payload>)]. Writes are atomic
-    (tmp file + rename); loads return [None] on a missing, corrupt or
+    [(checkpoint (version 2) (stage ...) (checksum ...) <payload>)].
+    The checksum is FNV-1a 64 over the canonical serialization of the
+    payload, verified on load against a re-serialization of the parsed
+    payload — a file truncated or edited into something still
+    parseable reads as corrupt. Writes are atomic (tmp file + rename);
+    loads return [None] on a missing, corrupt, checksum-mismatched or
     version-mismatched file, so a resuming run silently recomputes the
     stage instead of failing.
+
+    Partial artifacts: the Ind and Rhs payloads carry their result's
+    [unverified]/[exhausted] fields, so a budget-tripped stage
+    checkpoints exactly the work completed and a resumed pipeline
+    continues from that group boundary (see {!Pipeline.run_checked}).
 
     The Translate checkpoint is a completion {e marker} only (the EER
     graph has no deserializer): it stores the rendered schema for human

@@ -12,6 +12,8 @@ type result = {
   inds : Ind.t list;
   new_relations : Relation.t list;
   steps : step list;
+  unverified : Sqlx.Equijoin.t list;
+  exhausted : Supervise.reason option;
 }
 
 let join_resolvable db (j : Sqlx.Equijoin.t) =
@@ -79,7 +81,7 @@ let fresh_name db base =
    resolvable mid-loop (its relation conceptualized by an earlier NEI
    decision) falls back to direct per-join counting, preserving the
    exact semantics of the unbatched loop. *)
-let plan ~engine db joins =
+let plan ~engine ~supervise db joins =
   let planned = ref [] and probes = ref [] and n_probes = ref 0 in
   List.iter
     (fun (j : Sqlx.Equijoin.t) ->
@@ -94,7 +96,7 @@ let plan ~engine db joins =
       else planned := None :: !planned)
     joins;
   let counts =
-    Array.of_list (Verify_plan.ind_batch ~engine db (List.rev !probes))
+    Array.of_list (Verify_plan.ind_batch ~engine ~supervise db (List.rev !probes))
   in
   let planned = Array.of_list (List.rev !planned) in
   fun i ->
@@ -102,9 +104,36 @@ let plan ~engine db joins =
     | Some k -> Some counts.(k)
     | None -> None
 
-let run ?(engine = Engine.default) (oracle : Oracle.t) db joins =
-  let planned_counts = plan ~engine db joins in
+(* Supervision: the token is polled once per equi-join of Q — the unit
+   between oracle decisions — by the sequential elicitation loop only
+   (the batched planner honors the latched verdict but never polls, per
+   the Supervise determinism contract). On a trip the joins not yet
+   processed come back verbatim in [unverified] and [exhausted] names
+   the budget; under the engine's [`Fail] policy the trip raises
+   [Error.Error] instead. A later run can pass the partial result as
+   [?prior] to process exactly the unverified tail, seeded with the
+   already-elicited INDs, conceptualized relations and steps — the
+   resumed trace is identical to an unbudgeted run's. *)
+let run ?(engine = Engine.default) ?(supervise = Supervise.unlimited) ?prior
+    (oracle : Oracle.t) db joins =
+  let todo =
+    match prior with
+    | None -> joins
+    | Some p -> p.unverified
+  in
+  let planned_counts =
+    (* a trip while planning falls back to per-join counting, which the
+       loop's own first poll then cuts off before any oracle call *)
+    try plan ~engine ~supervise db todo
+    with Supervise.Interrupt _ -> fun _ -> None
+  in
   let inds = ref [] and new_relations = ref [] and steps = ref [] in
+  (match prior with
+  | None -> ()
+  | Some p ->
+      inds := List.rev p.inds;
+      new_relations := List.rev p.new_relations;
+      steps := List.rev p.steps);
   let add_ind ind =
     if not (List.exists (Ind.equal ind) !inds) then inds := ind :: !inds
   in
@@ -165,9 +194,27 @@ let run ?(engine = Engine.default) (oracle : Oracle.t) db joins =
       steps := { join = j; counts; case } :: !steps
     end
   in
-  List.iteri process joins;
+  let exhausted = ref None in
+  let rec loop i = function
+    | [] -> []
+    | j :: rest -> (
+        match Supervise.poll supervise with
+        | Some r ->
+            exhausted := Some r;
+            j :: rest
+        | None ->
+            process i j;
+            loop (i + 1) rest)
+  in
+  let unverified = loop 0 todo in
+  (match !exhausted with
+  | Some r when Engine.fail_on_exhausted engine ->
+      raise (Error.Error (Supervise.error_of ~stage:Error.Ind_discovery r))
+  | _ -> ());
   {
     inds = List.rev !inds;
     new_relations = List.rev !new_relations;
     steps = List.rev !steps;
+    unverified;
+    exhausted = !exhausted;
   }

@@ -32,10 +32,23 @@ type result = {
   inds : Ind.t list;  (** the elicited set [IND], in elicitation order *)
   new_relations : Relation.t list;  (** the paper's [S] *)
   steps : step list;  (** full per-equi-join trace *)
+  unverified : Sqlx.Equijoin.t list;
+      (** equi-joins not processed because a supervision budget
+          tripped, in their original [Q] order; empty on a complete
+          run *)
+  exhausted : Supervise.reason option;
+      (** the tripped budget behind [unverified]; [None] iff the run
+          completed *)
 }
 
 val run :
-  ?engine:Engine.t -> Oracle.t -> Database.t -> Sqlx.Equijoin.t list -> result
+  ?engine:Engine.t ->
+  ?supervise:Supervise.t ->
+  ?prior:result ->
+  Oracle.t ->
+  Database.t ->
+  Sqlx.Equijoin.t list ->
+  result
 (** Runs the algorithm. The database is mutated only by conceptualized
     NEI relations (added with their intersection extension, sorted so
     every engine materializes the same table). Equi-joins over unknown
@@ -50,4 +63,19 @@ val run :
     by exactly one domain — before the sequential elicitation loop
     consumes them, so the result (and its order) is identical to the
     sequential run. Any other engine configuration warms nothing and
-    runs fully sequentially. *)
+    runs fully sequentially.
+
+    [supervise] is polled once per equi-join, between oracle decisions.
+    On a trip the run degrades gracefully: the already-processed prefix
+    comes back intact and the untouched tail lands in [unverified] with
+    [exhausted] naming the budget — unless the engine's budget policy
+    is [`Fail] ({!Engine.fail_on_exhausted}), in which case
+    [Error.Error] (code [Resource_exhausted], stage [Ind_discovery]) is
+    raised instead.
+
+    [prior] resumes a partial result: only [prior.unverified] is
+    processed, seeded with the prior INDs, conceptualized relations and
+    steps, so a resumed run's result is identical to one that never
+    tripped (given the same oracle tail and a database still carrying
+    the prior conceptualizations — the pipeline replays stages in order
+    to guarantee this). *)

@@ -47,13 +47,13 @@ type partial = {
   p_error : Error.t;
 }
 
-let load_extension config rel csv =
+let load_extension ?supervise config rel csv =
   let mode =
     match config.on_bad_tuple with
     | `Fail -> `Strict
     | `Quarantine -> `Quarantine
   in
-  match Csv.load ~mode ?pool:(Engine.pool config.engine) rel csv with
+  match Csv.load ~mode ?pool:(Engine.pool config.engine) ?supervise rel csv with
   | Ok loaded -> loaded
   | Stdlib.Error e -> raise (Error.Error e)
 
@@ -80,16 +80,31 @@ let wrap stage f =
       Stdlib.Error (Error.make ~stage Error.Sql_parse msg)
   | exception exn -> Stdlib.Error (Error.of_exn stage exn)
 
-let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
-    ?resume_from db input =
+let run_checked ?(config = default_config) ?supervise ?(quarantine = [])
+    ?checkpoint_dir ?resume_from db input =
+  let supervise =
+    match supervise with
+    | Some s -> s
+    | None -> Engine.supervisor config.engine
+  in
   let oracle, events = Oracle.traced config.oracle in
+  (* Staleness cascade: once a stage's restored artifact was partial
+     (completed here from its boundary) or a fresh artifact came back
+     partial, every downstream checkpoint was derived from a different
+     prefix of the work and must not be restored — resume from a
+     budget-tripped run recomputes exactly the stages the trip
+     invalidated, and the finished artifacts are identical to an
+     unbudgeted run's. *)
+  let stale = ref false in
   let save write =
     match checkpoint_dir with
     | None -> ()
     | Some dir -> ( try write ~dir with Sys_error _ -> ())
   in
   let restore load =
-    match resume_from with None -> None | Some dir -> load ~dir
+    match resume_from with
+    | None -> None
+    | Some dir -> if !stale then None else load ~dir
   in
   (* resume when a valid checkpoint exists, otherwise compute (under the
      error boundary) and checkpoint the fresh artifact best-effort *)
@@ -99,6 +114,23 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
     | None -> (
         match wrap name f with
         | Ok v ->
+            save (fun ~dir -> write_stage ~dir v);
+            Ok v
+        | Stdlib.Error _ as e -> e)
+  in
+  (* Ind and Rhs artifacts may themselves be partial (a budget tripped
+     mid-stage). A restored complete artifact is final; a restored
+     partial one seeds the stage's [?prior] so only the unverified tail
+     is processed; either way a partial anywhere marks downstream
+     checkpoints stale. *)
+  let partial_stage name restore_stage write_stage ~is_partial compute =
+    match restore restore_stage with
+    | Some v when not (is_partial v) -> Ok v
+    | prior -> (
+        if Option.is_some prior then stale := true;
+        match wrap name (fun () -> compute prior) with
+        | Ok v ->
+            if is_partial v then stale := true;
             save (fun ~dir -> write_stage ~dir v);
             Ok v
         | Stdlib.Error _ as e -> e)
@@ -125,10 +157,13 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
   | Stdlib.Error e -> Stdlib.Error (partial e)
   | Ok equijoins -> (
       match
-        stage_run Error.Ind_discovery
+        partial_stage Error.Ind_discovery
           (fun ~dir -> Checkpoint.load_ind ~dir db)
           (fun ~dir r -> Checkpoint.write_ind ~dir db r)
-          (fun () -> Ind_discovery.run ~engine:config.engine oracle db equijoins)
+          ~is_partial:(fun r -> r.Ind_discovery.unverified <> [])
+          (fun prior ->
+            Ind_discovery.run ~engine:config.engine ~supervise ?prior oracle
+              db equijoins)
       with
       | Stdlib.Error e -> Stdlib.Error (partial ~equijoins e)
       | Ok ind_result -> (
@@ -148,10 +183,12 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
               Stdlib.Error (partial ~equijoins ~ind:ind_result e)
           | Ok lhs_result -> (
               match
-                stage_run Error.Rhs_discovery Checkpoint.load_rhs
-                  Checkpoint.write_rhs (fun () ->
-                    Rhs_discovery.run ~engine:config.engine oracle db
-                      ~lhs:lhs_result.Lhs_discovery.lhs
+                partial_stage Error.Rhs_discovery Checkpoint.load_rhs
+                  Checkpoint.write_rhs
+                  ~is_partial:(fun r -> r.Rhs_discovery.unverified <> [])
+                  (fun prior ->
+                    Rhs_discovery.run ~engine:config.engine ~supervise ?prior
+                      oracle db ~lhs:lhs_result.Lhs_discovery.lhs
                       ~hidden:lhs_result.Lhs_discovery.hidden)
               with
               | Stdlib.Error e ->
@@ -213,8 +250,11 @@ let run_checked ?(config = default_config) ?(quarantine = []) ?checkpoint_dir
                                        ~lhs:lhs_result ~rhs:rhs_result
                                        ~restruct:restruct_result e))))))))
 
-let run ?config ?quarantine ?checkpoint_dir ?resume_from db input =
-  match run_checked ?config ?quarantine ?checkpoint_dir ?resume_from db input with
+let run ?config ?supervise ?quarantine ?checkpoint_dir ?resume_from db input =
+  match
+    run_checked ?config ?supervise ?quarantine ?checkpoint_dir ?resume_from db
+      input
+  with
   | Ok r -> r
   | Stdlib.Error p -> raise (Error.Error p.p_error)
 

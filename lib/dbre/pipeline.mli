@@ -78,6 +78,7 @@ type partial = {
 
 val run_checked :
   ?config:config ->
+  ?supervise:Supervise.t ->
   ?quarantine:Quarantine.report list ->
   ?checkpoint_dir:string ->
   ?resume_from:string ->
@@ -100,10 +101,27 @@ val run_checked :
     [?resume_from] loads valid stage checkpoints from a directory
     instead of recomputing; corrupt or missing checkpoints are silently
     recomputed. Stages restored from checkpoints produce no oracle
-    [events]. Translate is always recomputed (cheap, deterministic). *)
+    [events]. Translate is always recomputed (cheap, deterministic).
+
+    [?supervise] (default: a fresh token from the engine's budget via
+    {!Engine.supervisor}) bounds the run. The discovery stages poll it
+    at group granularity: a trip leaves the tripped stage's processed
+    prefix intact, records the untouched groups in the result's
+    [unverified] field with [exhausted] naming the budget, and the
+    remaining stages still run against the partial dependency sets —
+    graceful degradation to a complete, annotated, typed result (under
+    the engine's [`Fail] policy the trip is a stage failure instead,
+    yielding [Error partial] with code [Resource_exhausted]). Partial
+    artifacts are checkpointed like complete ones; a later
+    [?resume_from] run completes a partial stage from its exact group
+    boundary (seeding it as the stage's prior) and recomputes every
+    stage downstream of a partial — restored complete artifacts
+    upstream are reused — so the resumed artifacts are identical to an
+    unbudgeted run's. *)
 
 val run :
   ?config:config ->
+  ?supervise:Supervise.t ->
   ?quarantine:Quarantine.report list ->
   ?checkpoint_dir:string ->
   ?resume_from:string ->
@@ -117,11 +135,16 @@ val run :
     the artifacts of the stages that completed before the failure. *)
 
 val load_extension :
-  config -> Relation.t -> string -> Table.t * Quarantine.report option
+  ?supervise:Supervise.t ->
+  config ->
+  Relation.t ->
+  string ->
+  Table.t * Quarantine.report option
 (** Load one relation's CSV extension honoring [config.on_bad_tuple],
     via {!Csv.load}: [`Fail] loads strictly (raises [Error.Error] on
     bad input), [`Quarantine] loads leniently and returns the report
-    when any tuple was quarantined. *)
+    when any tuple was quarantined. A tripped [supervise] token raises
+    [Error.Error] (code [Resource_exhausted], stage [Load]). *)
 
 type degradation = {
   deg_relation : string;

@@ -76,6 +76,13 @@ let pp_rhs_steps ppf steps =
 let pp_events ppf events = pp_lines Oracle.pp_event ppf events
 let pp_schema = Schema.pp
 
+(* budget-exhaustion annotations: rendered only when a stage actually
+   degraded, so complete runs produce byte-identical reports to runs
+   that never carried a token *)
+let exhausted_note = function
+  | None -> "a supervision budget"
+  | Some r -> Supervise.reason_message r
+
 (* pipe characters break Markdown table cells *)
 let md_escape s =
   String.concat "\\|" (String.split_on_char '|' s)
@@ -135,6 +142,18 @@ let markdown ?(title = "Database reverse-engineering report") (r : Pipeline.resu
         s.Ind_discovery.counts.Ind.n_join outcome)
     ind_r.Ind_discovery.steps;
   out "";
+  if ind_r.Ind_discovery.unverified <> [] then begin
+    out "> **Partial result** — %s tripped; %d equi-join(s) were not \
+         verified and elicited nothing. Resume with the stage checkpoint \
+         to complete them."
+      (exhausted_note ind_r.Ind_discovery.exhausted)
+      (List.length ind_r.Ind_discovery.unverified);
+    out "";
+    List.iter
+      (fun j -> out "- unverified: `%s`" (md_escape (Sqlx.Equijoin.to_string j)))
+      ind_r.Ind_discovery.unverified;
+    out ""
+  end;
   (* FD discovery *)
   out "## Functional-dependency discovery (section 6.2)";
   out "";
@@ -155,6 +174,17 @@ let markdown ?(title = "Database reverse-engineering report") (r : Pipeline.resu
         outcome)
     rhs_r.Rhs_discovery.steps;
   out "";
+  if rhs_r.Rhs_discovery.unverified <> [] then begin
+    out "> **Partial result** — %s tripped; %d candidate(s) were not \
+         tested for functional dependencies."
+      (exhausted_note rhs_r.Rhs_discovery.exhausted)
+      (List.length rhs_r.Rhs_discovery.unverified);
+    out "";
+    List.iter
+      (fun a -> out "- unverified: `%s`" (Attribute.to_string a))
+      rhs_r.Rhs_discovery.unverified;
+    out ""
+  end;
   (* restructured schema *)
   out "## Restructured schema (section 7)";
   out "";
@@ -257,6 +287,12 @@ let pp_result ppf (r : Pipeline.result) =
   pp_equijoins ppf r.Pipeline.equijoins;
   section "IND-Discovery trace";
   pp_ind_steps ppf r.Pipeline.ind_result.Ind_discovery.steps;
+  if r.Pipeline.ind_result.Ind_discovery.unverified <> [] then begin
+    section "Unverified equi-joins (budget exhausted)";
+    Format.fprintf ppf "%s tripped@,"
+      (exhausted_note r.Pipeline.ind_result.Ind_discovery.exhausted);
+    pp_equijoins ppf r.Pipeline.ind_result.Ind_discovery.unverified
+  end;
   section "Elicited IND";
   pp_inds ppf r.Pipeline.ind_result.Ind_discovery.inds;
   section "LHS (candidate identifiers)";
@@ -265,6 +301,12 @@ let pp_result ppf (r : Pipeline.result) =
   pp_qattrs ppf r.Pipeline.lhs_result.Lhs_discovery.hidden;
   section "RHS-Discovery trace";
   pp_rhs_steps ppf r.Pipeline.rhs_result.Rhs_discovery.steps;
+  if r.Pipeline.rhs_result.Rhs_discovery.unverified <> [] then begin
+    section "Unverified candidates (budget exhausted)";
+    Format.fprintf ppf "%s tripped@,"
+      (exhausted_note r.Pipeline.rhs_result.Rhs_discovery.exhausted);
+    pp_qattrs ppf r.Pipeline.rhs_result.Rhs_discovery.unverified
+  end;
   section "F (elicited functional dependencies)";
   pp_fds ppf r.Pipeline.rhs_result.Rhs_discovery.fds;
   section "H (final hidden objects)";

@@ -13,11 +13,32 @@ type step = {
   outcome : outcome;
 }
 
-type result = { fds : Fd.t list; hidden : Attribute.t list; steps : step list }
+type result = {
+  fds : Fd.t list;
+  hidden : Attribute.t list;
+  steps : step list;
+  unverified : Attribute.t list;
+  exhausted : Supervise.reason option;
+}
 
-let run ?(engine = Engine.default) (oracle : Oracle.t) db ~lhs ~hidden =
+(* Supervision mirrors Ind_discovery: the sequential candidate loop
+   polls once per candidate attribute, returns the untouched tail as
+   [unverified] on a trip (or raises under the [`Fail] policy), and a
+   [?prior] partial result resumes from exactly that tail with the
+   elicited FDs, hidden set and steps seeded. *)
+let run ?(engine = Engine.default) ?(supervise = Supervise.unlimited) ?prior
+    (oracle : Oracle.t) db ~lhs ~hidden =
   let schema = Database.schema db in
   let fds = ref [] and out_hidden = ref [] and steps = ref [] in
+  let todo =
+    match prior with
+    | None -> lhs @ hidden
+    | Some p ->
+        fds := List.rev p.fds;
+        out_hidden := List.rev p.hidden;
+        steps := List.rev p.steps;
+        p.unverified
+  in
   let in_h (a : Attribute.t) = List.exists (Attribute.equal a) hidden in
   let keep_hidden a =
     if not (List.exists (Attribute.equal a) !out_hidden) then
@@ -58,7 +79,9 @@ let run ?(engine = Engine.default) (oracle : Oracle.t) db ~lhs ~hidden =
            once); the oracle fallback then runs in T-order over the
            misses, exactly the decision sequence of the per-candidate
            loop this replaces *)
-        let verdicts = Fd_infer.holds_all ~engine table ~lhs:a_attrs ~rhs:t in
+        let verdicts =
+          Fd_infer.holds_all ~engine ~supervise table ~lhs:a_attrs ~rhs:t
+        in
         let b =
           List.filter_map
             (fun (bt, data_backed) ->
@@ -96,9 +119,33 @@ let run ?(engine = Engine.default) (oracle : Oracle.t) db ~lhs ~hidden =
         in
         steps := { candidate = a; pruned_rhs = t; outcome } :: !steps
   in
-  List.iter process (lhs @ hidden);
+  let exhausted = ref None in
+  let rec loop = function
+    | [] -> []
+    | a :: rest -> (
+        match Supervise.poll supervise with
+        | Some r ->
+            exhausted := Some r;
+            a :: rest
+        | None -> (
+            (* a trip inside the candidate's own verification batch
+               surfaces here before anything was recorded for it, so
+               the candidate stays whole in the unverified tail *)
+            match process a with
+            | () -> loop rest
+            | exception Supervise.Interrupt r ->
+                exhausted := Some r;
+                a :: rest))
+  in
+  let unverified = loop todo in
+  (match !exhausted with
+  | Some r when Engine.fail_on_exhausted engine ->
+      raise (Error.Error (Supervise.error_of ~stage:Error.Rhs_discovery r))
+  | _ -> ());
   {
     fds = List.rev !fds;
     hidden = List.rev !out_hidden;
     steps = List.rev !steps;
+    unverified;
+    exhausted = !exhausted;
   }

@@ -33,10 +33,19 @@ type result = {
   fds : Fd.t list;  (** the elicited set [F] *)
   hidden : Attribute.t list;  (** the final [H] *)
   steps : step list;
+  unverified : Attribute.t list;
+      (** candidates not processed because a supervision budget
+          tripped, in their original [LHS ∪ H] order; empty on a
+          complete run *)
+  exhausted : Supervise.reason option;
+      (** the tripped budget behind [unverified]; [None] iff the run
+          completed *)
 }
 
 val run :
   ?engine:Engine.t ->
+  ?supervise:Supervise.t ->
+  ?prior:result ->
   Oracle.t ->
   Database.t ->
   lhs:Attribute.t list ->
@@ -45,4 +54,17 @@ val run :
 (** [engine] selects the FD-check implementation (default
     {!Engine.default}: memoized columnar — every candidate [A -> b_t]
     over the same relation shares the store's LHS partition).
-    Candidates over unknown relations are dropped. *)
+    Candidates over unknown relations are dropped.
+
+    [supervise] is polled once per candidate attribute (and threaded to
+    the per-candidate verification batch). On a trip the processed
+    prefix comes back intact, the untouched candidates land in
+    [unverified] with [exhausted] naming the budget — unless the
+    engine's budget policy is [`Fail], in which case [Error.Error]
+    (code [Resource_exhausted], stage [Rhs_discovery]) is raised.
+
+    [prior] resumes a partial result: only [prior.unverified] is
+    processed, seeded with the prior FDs, hidden set and steps, so the
+    resumed result is identical to a run that never tripped (same
+    oracle tail assumed). [lhs]/[hidden] must be the same values passed
+    to the original run ([hidden] still scopes the "was in H" test). *)

@@ -1,0 +1,5 @@
+(* Re-export the relational-layer supervision runtime under the
+   pipeline's namespace: users budget a [Dbre.Supervise.t] regardless
+   of which layer polls it (ingest in [Relational.Csv], verification in
+   [Relational.Verify_plan], discovery loops here). *)
+include Relational.Supervise

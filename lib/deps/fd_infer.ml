@@ -46,9 +46,9 @@ let holds ?(engine = Engine.default) table fd =
    independent scan per attribute. The LHS is normalized exactly as
    [Fd.make] normalizes it, so memoized verdicts are shared with
    single-FD [holds] calls. *)
-let holds_all ?(engine = Engine.default) table ~lhs ~rhs =
+let holds_all ?(engine = Engine.default) ?supervise table ~lhs ~rhs =
   let lhs = Attribute.Names.normalize lhs in
-  Verify_plan.fd_group ~engine table ~lhs ~rhs
+  Verify_plan.fd_group ~engine ?supervise table ~lhs ~rhs
 
 let error_rate table (fd : Fd.t) =
   let n = Table.cardinality table in
@@ -88,9 +88,19 @@ let error_rate table (fd : Fd.t) =
     float_of_int (n - kept - !nulls) /. float_of_int n
   end
 
-type stats = { candidates_tested : int; fds_found : int }
+type stats = {
+  candidates_tested : int;
+  fds_found : int;
+  exhausted : Supervise.reason option;
+}
 
-let discover ?(max_lhs = 3) ~rel table =
+(* Supervision: the levelwise searches poll the token once per LHS
+   candidate set (the unit of work between prunable states) and catch
+   the trip at that boundary, returning the minimal FDs found so far
+   with [stats.exhausted] naming the tripped budget — a typed partial,
+   never an exception. *)
+
+let discover ?(max_lhs = 3) ?(supervise = Supervise.unlimited) ~rel table =
   let attrs = (Table.schema table).Relation.attrs in
   let tested = ref 0 in
   let found : Fd.t list ref = ref [] in
@@ -110,9 +120,12 @@ let discover ?(max_lhs = 3) ~rel table =
   let arr = Array.of_list attrs in
   let n = Array.length arr in
   let max_lhs = min max_lhs n in
+  let exhausted = ref None in
+  (try
   for size = 1 to max_lhs do
     let rec choose start acc count =
       if count = 0 then begin
+        Supervise.check supervise;
         let lhs = Attribute.Names.normalize acc in
         if not (superset_of_key lhs) then begin
           if Table.count_distinct table lhs = Table.cardinality table then
@@ -141,11 +154,17 @@ let discover ?(max_lhs = 3) ~rel table =
         done
     in
     choose 0 [] size
-  done;
+  done
+  with Supervise.Interrupt r -> exhausted := Some r);
   let fds = Fd.combine (List.rev !found) in
-  (fds, { candidates_tested = !tested; fds_found = List.length !found })
+  ( fds,
+    {
+      candidates_tested = !tested;
+      fds_found = List.length !found;
+      exhausted = !exhausted;
+    } )
 
-let discover_tane ?(max_lhs = 3) ~rel table =
+let discover_tane ?(max_lhs = 3) ?(supervise = Supervise.unlimited) ~rel table =
   let attrs = (Table.schema table).Relation.attrs in
   let arr = Array.of_list (Attribute.Names.normalize attrs) in
   let n = Array.length arr in
@@ -180,9 +199,12 @@ let discover_tane ?(max_lhs = 3) ~rel table =
   let cardinality = Table.cardinality table in
   (* iterate LHS candidates by size, exactly as [discover] does, but test
      through partitions: X -> a holds iff e(π_X) = e(π_{X∪a}) *)
+  let exhausted = ref None in
+  (try
   for size = 1 to max_lhs do
     let rec choose start acc count =
       if count = 0 then begin
+        Supervise.check supervise;
         let lhs = Attribute.Names.normalize acc in
         if not (superset_of_key lhs) then begin
           let p_lhs = partition_of lhs in
@@ -212,16 +234,22 @@ let discover_tane ?(max_lhs = 3) ~rel table =
         done
     in
     choose 0 [] size
-  done;
+  done
+  with Supervise.Interrupt r -> exhausted := Some r);
   let fds = Fd.combine (List.rev !found) in
-  (fds, { candidates_tested = !tested; fds_found = List.length !found })
+  ( fds,
+    {
+      candidates_tested = !tested;
+      fds_found = List.length !found;
+      exhausted = !exhausted;
+    } )
 
-let discover_for_lhs ?engine ~rel table lhs =
+let discover_for_lhs ?engine ?supervise ~rel table lhs =
   let attrs = (Table.schema table).Relation.attrs in
   let candidates = List.filter (fun a -> not (List.mem a lhs)) attrs in
   let rhs =
     List.filter_map
       (fun (a, ok) -> if ok then Some a else None)
-      (holds_all ?engine table ~lhs ~rhs:candidates)
+      (holds_all ?engine ?supervise table ~lhs ~rhs:candidates)
   in
   if rhs = [] then None else Some (Fd.make rel lhs rhs)

@@ -26,6 +26,7 @@ val holds : ?engine:Engine.t -> Table.t -> Fd.t -> bool
 
 val holds_all :
   ?engine:Engine.t ->
+  ?supervise:Supervise.t ->
   Table.t ->
   lhs:string list ->
   rhs:string list ->
@@ -35,16 +36,26 @@ val holds_all :
     columnar engines the LHS partition is refined once per attribute
     instead of scanned per candidate, and independent sweeps fan out
     over the engine's {!Relational.Domain_pool}. Verdicts are identical
-    to per-candidate {!holds} calls (engine-equivalence contract). *)
+    to per-candidate {!holds} calls (engine-equivalence contract).
+    [supervise] is threaded to the planner, which polls it at sweep
+    granularity; a trip raises [Supervise.Interrupt]. *)
 
 val error_rate : Table.t -> Fd.t -> float
 (** Fraction of rows that must be removed for the FD to hold
     ([g3] error measure): 0 when it holds. *)
 
-type stats = { candidates_tested : int; fds_found : int }
+type stats = {
+  candidates_tested : int;
+  fds_found : int;
+  exhausted : Supervise.reason option;
+      (** [Some r] when a supervision budget tripped mid-search and the
+          FDs returned are the (still-minimal) prefix found before the
+          trip; [None] on a complete search. *)
+}
 
 val discover :
   ?max_lhs:int ->
+  ?supervise:Supervise.t ->
   rel:string ->
   Table.t ->
   Fd.t list * stats
@@ -52,10 +63,16 @@ val discover :
     by the table, found levelwise with candidate pruning: supersets of a
     found LHS are not tested for the same RHS, and key LHSes prune all
     larger candidates. Returns the FDs (combined by LHS) and search
-    statistics. Exponential in arity — the point of the baseline. *)
+    statistics. Exponential in arity — the point of the baseline.
+
+    [supervise] is polled once per LHS candidate set; a trip ends the
+    search at that boundary and the FDs found so far come back with
+    [stats.exhausted] naming the tripped budget (no exception
+    escapes). *)
 
 val discover_tane :
   ?max_lhs:int ->
+  ?supervise:Supervise.t ->
   rel:string ->
   Table.t ->
   Fd.t list * stats
@@ -75,7 +92,12 @@ val discover_tane :
     nullable identifiers prefer {!discover}. *)
 
 val discover_for_lhs :
-  ?engine:Engine.t -> rel:string -> Table.t -> string list -> Fd.t option
+  ?engine:Engine.t ->
+  ?supervise:Supervise.t ->
+  rel:string ->
+  Table.t ->
+  string list ->
+  Fd.t option
 (** Maximal RHS functionally determined by the given LHS (excluding the
     LHS itself); [None] when nothing besides the LHS is determined.
     This is the primitive RHS-Discovery (§6.2.2) calls per candidate —

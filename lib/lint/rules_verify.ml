@@ -108,4 +108,41 @@ let l205 (r : Dbre.Pipeline.result) =
       empty_roles @ partial)
     eer.Er.Eer.relationships
 
-let check_result r = l201 r @ l202 r @ l203 r @ l204 r @ l205 r
+let l206 (r : Dbre.Pipeline.result) =
+  let budget = function
+    | Some reason -> Supervise.reason_message reason
+    | None -> "a supervision budget"
+  in
+  let ind =
+    match r.ind_result.Dbre.Ind_discovery.unverified with
+    | [] -> []
+    | unverified ->
+        [
+          diag ~code:"L206" Diagnostic.Warning
+            (Printf.sprintf
+               "IND-Discovery is partial: %s tripped and %d equi-join(s) \
+                were never verified — the elicited INDs (and everything \
+                derived from them) may be incomplete; resume from the \
+                stage checkpoint to finish"
+               (budget r.ind_result.Dbre.Ind_discovery.exhausted)
+               (List.length unverified));
+        ]
+  in
+  let rhs =
+    match r.rhs_result.Dbre.Rhs_discovery.unverified with
+    | [] -> []
+    | unverified ->
+        [
+          diag ~code:"L206" Diagnostic.Warning
+            (Printf.sprintf
+               "RHS-Discovery is partial: %s tripped and %d candidate(s) \
+                were never tested — the elicited FDs (and the 3NF \
+                restructuring) may be incomplete; resume from the stage \
+                checkpoint to finish"
+               (budget r.rhs_result.Dbre.Rhs_discovery.exhausted)
+               (List.length unverified));
+        ]
+  in
+  ind @ rhs
+
+let check_result r = l201 r @ l202 r @ l203 r @ l204 r @ l205 r @ l206 r

@@ -14,7 +14,13 @@
       ({!Er.Validate.check} fails).
     - [L205] (error/warning) — malformed relationship cardinalities: a
       role realized by no attributes (error), or a relationship where
-      cardinality inference annotated only some legs (warning). *)
+      cardinality inference annotated only some legs (warning).
+    - [L206] (warning) — a discovery stage degraded under a supervision
+      budget: the result carries an [unverified] set, so the elicited
+      dependencies (and everything derived from them) may be
+      incomplete. The message names the budget that tripped
+      (deadline/heap/cancellation) and points at the stage-checkpoint
+      resume path. *)
 
 val check_result : Dbre.Pipeline.result -> Diagnostic.t list
 (** All verification rules over a completed run. Diagnostics carry no

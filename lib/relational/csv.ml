@@ -224,20 +224,35 @@ let scanner_finish st =
   end;
   List.rev st.sc_errors
 
-let fold ~f ~init text =
+(* ingest supervision: the token is polled once per [supervised_rows]
+   emitted rows (and once per reader chunk) — coarse enough to cost one
+   atomic load amortized over thousands of rows, fine enough that a
+   deadline stops a bulk load at a chunk boundary *)
+let supervised_rows = 4096
+
+let supervised_emit supervise emit index line fields =
+  if index land (supervised_rows - 1) = 0 then Supervise.check supervise;
+  emit index line fields
+
+let fold ?(supervise = Supervise.unlimited) ~f ~init text =
   let acc = ref init in
   let st =
-    scanner_make (fun index line fields -> acc := f !acc { index; line; fields })
+    scanner_make
+      (supervised_emit supervise (fun index line fields ->
+           acc := f !acc { index; line; fields }))
   in
   scanner_feed st text 0 (String.length text);
   (!acc, scanner_finish st)
 
-let fold_reader ~f ~init read =
+let fold_reader ?(supervise = Supervise.unlimited) ~f ~init read =
   let acc = ref init in
   let st =
-    scanner_make (fun index line fields -> acc := f !acc { index; line; fields })
+    scanner_make
+      (supervised_emit supervise (fun index line fields ->
+           acc := f !acc { index; line; fields }))
   in
   let rec loop () =
+    Supervise.check supervise;
     match read () with
     | None -> ()
     | Some chunk ->
@@ -927,8 +942,9 @@ let run_parallel ~header ~strict ~pool rel text chunks light_syntax =
 
 let default_min_parallel_bytes = 1 lsl 16
 
-let run_load ~header ~strict ?pool ?(min_parallel_bytes = default_min_parallel_bytes)
-    rel text =
+let run_load ~header ~strict ?pool ?(supervise = Supervise.unlimited)
+    ?(min_parallel_bytes = default_min_parallel_bytes) rel text =
+  Supervise.check supervise;
   let nchunks =
     match pool with
     | Some p
@@ -939,10 +955,11 @@ let run_load ~header ~strict ?pool ?(min_parallel_bytes = default_min_parallel_b
   let plan = if nchunks > 1 then plan_chunks ~header text nchunks else None in
   match (plan, pool) with
   | Some (chunks, light_syntax), Some pool when Array.length chunks > 1 ->
+      Supervise.check supervise;
       run_parallel ~header ~strict ~pool rel text chunks light_syntax
   | _ ->
       let k = sink_make ~strict ~header rel in
-      let st = scanner_make (sink_emit k) in
+      let st = scanner_make (supervised_emit supervise (sink_emit k)) in
       scanner_feed st text 0 (String.length text);
       finalize ~strict k (scanner_finish st)
 
@@ -952,27 +969,33 @@ let wrap mode (table, report) =
   | `Quarantine ->
       Ok (table, if Quarantine.is_empty report then None else Some report)
 
-let load ?(header = true) ?(mode = `Strict) ?pool ?min_parallel_bytes rel csv =
+let load ?(header = true) ?(mode = `Strict) ?pool ?supervise
+    ?min_parallel_bytes rel csv =
   let strict = mode = `Strict in
-  match run_load ~header ~strict ?pool ?min_parallel_bytes rel csv with
+  match run_load ~header ~strict ?pool ?supervise ?min_parallel_bytes rel csv with
   | result -> wrap mode result
   | exception Error.Error e -> Stdlib.Error e
+  | exception Supervise.Interrupt r ->
+      Stdlib.Error (Supervise.error_of ~stage:Error.Load r)
 
-let load_file ?(header = true) ?(mode = `Strict) ?pool ?min_parallel_bytes rel
-    path =
+let load_file ?(header = true) ?(mode = `Strict) ?pool
+    ?(supervise = Supervise.unlimited) ?min_parallel_bytes rel path =
   let strict = mode = `Strict in
   try
     match pool with
     | Some p when Domain_pool.size p > 1 ->
         (* the splitter needs the whole document in memory *)
         let text = In_channel.with_open_bin path In_channel.input_all in
-        wrap mode (run_load ~header ~strict ~pool:p ?min_parallel_bytes rel text)
+        wrap mode
+          (run_load ~header ~strict ~pool:p ~supervise ?min_parallel_bytes rel
+             text)
     | _ ->
         In_channel.with_open_bin path (fun ic ->
             let k = sink_make ~strict ~header rel in
-            let st = scanner_make (sink_emit k) in
+            let st = scanner_make (supervised_emit supervise (sink_emit k)) in
             let buf = Bytes.create (1 lsl 20) in
             let rec loop () =
+              Supervise.check supervise;
               let r = input ic buf 0 (Bytes.length buf) in
               if r > 0 then begin
                 scanner_feed st (Bytes.sub_string buf 0 r) 0 r;
@@ -983,6 +1006,7 @@ let load_file ?(header = true) ?(mode = `Strict) ?pool ?min_parallel_bytes rel
             wrap mode (finalize ~strict k (scanner_finish st)))
   with
   | Error.Error e -> Stdlib.Error e
+  | Supervise.Interrupt r -> Stdlib.Error (Supervise.error_of ~stage:Error.Load r)
   | Sys_error msg ->
       Stdlib.Error
         (Error.make ~stage:Error.Load ~relation:rel.Relation.name

@@ -29,14 +29,24 @@ type row = {
   fields : string array;
 }
 
-val fold : f:('a -> row -> 'a) -> init:'a -> string -> 'a * syntax_error list
+val fold :
+  ?supervise:Supervise.t ->
+  f:('a -> row -> 'a) ->
+  init:'a ->
+  string ->
+  'a * syntax_error list
 (** Stream every complete row of a CSV document through [f], in order,
     without building a row list. The only possible syntax error in this
     grammar — a quote left open at EOF — comes back in the error list
-    (at most one), with the torn row dropped. *)
+    (at most one), with the torn row dropped. [supervise] is polled
+    once per 4096 emitted rows; a trip raises [Supervise.Interrupt]. *)
 
 val fold_reader :
-  f:('a -> row -> 'a) -> init:'a -> (unit -> string option) -> 'a * syntax_error list
+  ?supervise:Supervise.t ->
+  f:('a -> row -> 'a) ->
+  init:'a ->
+  (unit -> string option) ->
+  'a * syntax_error list
 (** Like {!fold}, but pulls input as chunks from a reader ([None] means
     EOF). Chunk boundaries may fall anywhere, including inside quoted
     fields and [\r\n] pairs; row indices, lines and columns are
@@ -60,11 +70,14 @@ val load :
   ?header:bool ->
   ?mode:[ `Strict | `Quarantine ] ->
   ?pool:Domain_pool.t ->
+  ?supervise:Supervise.t ->
   ?min_parallel_bytes:int ->
   Relation.t ->
   string ->
   (Table.t * Quarantine.report option, Error.t) result
-(** [load rel csv] builds a table for [rel] from CSV text. With
+(** [load rel csv] builds a table for [rel] from CSV text. A tripped
+    [supervise] token (polled per ingest chunk) comes back as [Error e]
+    with code {!Error.Resource_exhausted}, never an exception. With
     [~header:true] (default) the first row names the columns and they may
     appear in any order; without a header the columns must follow the
     declared attribute order. Fields are parsed through each attribute's
@@ -100,6 +113,7 @@ val load_file :
   ?header:bool ->
   ?mode:[ `Strict | `Quarantine ] ->
   ?pool:Domain_pool.t ->
+  ?supervise:Supervise.t ->
   ?min_parallel_bytes:int ->
   Relation.t ->
   string ->

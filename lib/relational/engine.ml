@@ -2,11 +2,48 @@ type check = Naive | Partition | Columnar
 type cache_policy = Cache_off | Cache_shared
 type parallelism = Sequential | Domains of int
 
-type t = { check : check; cache : cache_policy; parallelism : parallelism }
+type budget = {
+  deadline_s : float option;
+  max_heap_words : int option;
+  on_exhausted : [ `Partial | `Fail ];
+}
+
+type t = {
+  check : check;
+  cache : cache_policy;
+  parallelism : parallelism;
+  budget : budget;
+}
+
+let no_budget = { deadline_s = None; max_heap_words = None; on_exhausted = `Partial }
 
 let make ?(check = Columnar) ?(cache = Cache_shared)
-    ?(parallelism = Sequential) () =
-  { check; cache; parallelism }
+    ?(parallelism = Sequential) ?deadline_s ?max_heap_words
+    ?(on_exhausted = `Partial) () =
+  { check; cache; parallelism; budget = { deadline_s; max_heap_words; on_exhausted } }
+
+let with_budget ?deadline_s ?max_heap_words ?on_exhausted t =
+  let b = t.budget in
+  {
+    t with
+    budget =
+      {
+        deadline_s = (match deadline_s with Some _ -> deadline_s | None -> b.deadline_s);
+        max_heap_words =
+          (match max_heap_words with Some _ -> max_heap_words | None -> b.max_heap_words);
+        on_exhausted = Option.value on_exhausted ~default:b.on_exhausted;
+      };
+  }
+
+(* a fresh token per call: deadlines are anchored at creation, so the
+   pipeline mints one per run, not one per engine value *)
+let supervisor t =
+  match t.budget with
+  | { deadline_s = None; max_heap_words = None; _ } -> Supervise.unlimited
+  | { deadline_s; max_heap_words; _ } ->
+      Supervise.create ?deadline_s ?max_heap_words ()
+
+let fail_on_exhausted t = t.budget.on_exhausted = `Fail
 
 let default = make ()
 let naive = make ~check:Naive ~cache:Cache_off ()
@@ -57,7 +94,15 @@ let pp ppf t =
     (match t.cache with Cache_shared -> "shared-cache" | Cache_off -> "no-cache")
     (match t.parallelism with
     | Sequential -> "sequential"
-    | Domains n -> Printf.sprintf "%d-domains" n)
+    | Domains n -> Printf.sprintf "%d-domains" n);
+  (match t.budget.deadline_s with
+  | Some d -> Format.fprintf ppf "/deadline=%gs" d
+  | None -> ());
+  (match t.budget.max_heap_words with
+  | Some w -> Format.fprintf ppf "/max-heap=%dw" w
+  | None -> ());
+  if t.budget <> no_budget && t.budget.on_exhausted = `Fail then
+    Format.fprintf ppf "/fail-on-exhausted"
 
 let to_string t = Format.asprintf "%a" pp t
 

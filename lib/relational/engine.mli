@@ -32,12 +32,55 @@ type parallelism =
   | Sequential
   | Domains of int  (** fan independent checks out over [n] domains *)
 
-type t = { check : check; cache : cache_policy; parallelism : parallelism }
+type budget = {
+  deadline_s : float option;  (** wall-clock budget for the whole run *)
+  max_heap_words : int option;  (** [Gc.quick_stat].heap_words ceiling *)
+  on_exhausted : [ `Partial | `Fail ];
+      (** what a stage does when the budget trips: return a typed
+          partial result with an explicit unverified suffix
+          ([`Partial], the default), or raise a fatal
+          [Error.Resource_exhausted] ([`Fail]) *)
+}
+
+type t = {
+  check : check;
+  cache : cache_policy;
+  parallelism : parallelism;
+  budget : budget;
+}
+
+val no_budget : budget
+(** No deadline, no heap ceiling, [`Partial] policy — the default of
+    every preset. *)
 
 val make :
-  ?check:check -> ?cache:cache_policy -> ?parallelism:parallelism -> unit -> t
-(** Defaults: [Columnar], [Cache_shared], [Sequential] — i.e.
-    {!default}. *)
+  ?check:check ->
+  ?cache:cache_policy ->
+  ?parallelism:parallelism ->
+  ?deadline_s:float ->
+  ?max_heap_words:int ->
+  ?on_exhausted:[ `Partial | `Fail ] ->
+  unit ->
+  t
+(** Defaults: [Columnar], [Cache_shared], [Sequential], {!no_budget} —
+    i.e. {!default}. *)
+
+val with_budget :
+  ?deadline_s:float ->
+  ?max_heap_words:int ->
+  ?on_exhausted:[ `Partial | `Fail ] ->
+  t ->
+  t
+(** Override budget fields of an existing engine (CLI flag layering);
+    omitted fields keep their current value. *)
+
+val supervisor : t -> Supervise.t
+(** A fresh supervision token armed with the engine's budget —
+    {!Supervise.unlimited} when no limit is set. Deadlines are anchored
+    at this call, so mint one token per run. *)
+
+val fail_on_exhausted : t -> bool
+(** [budget.on_exhausted = `Fail]. *)
 
 val default : t
 (** [Columnar] with shared caches, sequential: the fastest

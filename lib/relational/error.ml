@@ -18,6 +18,7 @@ type code =
   | Oracle_failure
   | Io_error
   | Checkpoint_corrupt
+  | Resource_exhausted
   | Invariant
   | Unclassified
 
@@ -54,6 +55,7 @@ let code_to_string = function
   | Oracle_failure -> "oracle-failure"
   | Io_error -> "io-error"
   | Checkpoint_corrupt -> "checkpoint-corrupt"
+  | Resource_exhausted -> "resource-exhausted"
   | Invariant -> "invariant"
   | Unclassified -> "unclassified"
 

@@ -31,6 +31,9 @@ type code =
   | Oracle_failure  (** the expert-user callback failed *)
   | Io_error
   | Checkpoint_corrupt  (** unreadable/mismatched checkpoint artifact *)
+  | Resource_exhausted
+      (** a supervision budget tripped (deadline, heap, cancellation)
+          under the [`Fail] policy — see {!Supervise} *)
   | Invariant  (** internal invariant violation — a bug, not bad input *)
   | Unclassified  (** wrapped foreign exception *)
 

@@ -48,14 +48,27 @@ let holds_row_scan table lhs rhs_attr =
     true
   with Exit -> false
 
-let fd_group ?(engine = Engine.default) table ~lhs ~rhs =
+(* Supervision: [fd_group]/[ind_batch] poll the token at sweep
+   granularity — before each full scan on the Naive path, once per
+   batched pass otherwise — and raise [Supervise.Interrupt] on a trip;
+   the discovery loops above catch it at a group boundary. Pool-fanned
+   passes get the token as the batch token, so a trip latched by the
+   driver drains the fan-out without running the remaining sweeps. *)
+
+let fd_group ?(engine = Engine.default) ?(supervise = Supervise.unlimited)
+    table ~lhs ~rhs =
   match rhs with
   | [] -> []
   | _ -> (
+      Supervise.check supervise;
       match engine.Engine.check with
       | Engine.Naive ->
           (* unbatched on purpose: one full scan per candidate *)
-          List.map (fun a -> (a, holds_row_scan table lhs a)) rhs
+          List.map
+            (fun a ->
+              Supervise.check supervise;
+              (a, holds_row_scan table lhs a))
+            rhs
       | Engine.Partition | Engine.Columnar ->
           Column_store.fd_batch
             ?pool:(Engine.pool engine)
@@ -66,10 +79,12 @@ let fd_group ?(engine = Engine.default) table ~lhs ~rhs =
 (* IND batches                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let ind_batch ?(engine = Engine.default) db probes =
+let ind_batch ?(engine = Engine.default) ?(supervise = Supervise.unlimited)
+    db probes =
   match probes with
   | [] -> []
   | _ -> (
+      Supervise.check supervise;
       match engine.Engine.check with
       | Engine.Naive | Engine.Partition ->
           (* row-based, but each distinct projection side is hashed
@@ -81,6 +96,7 @@ let ind_batch ?(engine = Engine.default) db probes =
             match Hashtbl.find_opt sets s with
             | Some h -> h
             | None ->
+                Supervise.check supervise;
                 let h = Table.distinct_table (Database.table db rel) attrs in
                 Hashtbl.add sets s h;
                 h
@@ -151,16 +167,25 @@ let ind_batch ?(engine = Engine.default) db probes =
               (fun attrs -> ignore (Column_store.distinct_set store attrs))
               attr_lists
           in
+          (* the warm pre-pass reads only the latched verdict — on the
+             pool path tasks may not poll, and the sequential fallback
+             must consume exactly as much fuel (none) so the trip
+             boundary is independent of the domain count *)
           (match Engine.pool engine with
           | Some pool
             when Domain_pool.size pool > 1 && Array.length tables > 1 ->
-              Domain_pool.parallel_for pool (Array.length tables) warm
+              Domain_pool.parallel_for ~supervise pool (Array.length tables)
+                warm
           | _ ->
               for i = 0 to Array.length tables - 1 do
+                (match Supervise.tripped supervise with
+                | Some r -> raise (Supervise.Interrupt r)
+                | None -> ());
                 warm i
               done);
           List.map
             (fun ((lrel, lattrs), (rrel, rattrs)) ->
+              Supervise.check supervise;
               let sl = store_of lrel and sr = store_of rrel in
               {
                 n_left = Column_store.count_distinct sl lattrs;

@@ -39,6 +39,7 @@ type counts = { n_left : int; n_right : int; n_join : int }
 
 val fd_group :
   ?engine:Engine.t ->
+  ?supervise:Supervise.t ->
   Table.t ->
   lhs:string list ->
   rhs:string list ->
@@ -46,12 +47,20 @@ val fd_group :
 (** [fd_group table ~lhs ~rhs] is [(a, lhs -> a holds)] for every
     [a] of [rhs], in order. [lhs] should be normalized
     ([Attribute.Names.normalize]) so memoized verdicts are shared with
-    single-FD checks. *)
+    single-FD checks. [supervise] is polled at sweep granularity (per
+    full scan on [Naive], per batched pass otherwise); a trip raises
+    [Supervise.Interrupt] for the discovery loop to catch at a group
+    boundary. *)
 
 val ind_batch :
-  ?engine:Engine.t -> Database.t -> (side * side) list -> counts list
+  ?engine:Engine.t ->
+  ?supervise:Supervise.t ->
+  Database.t ->
+  (side * side) list ->
+  counts list
 (** [ind_batch db probes] answers every [(left, right)] probe, in
     order. Every relation mentioned must resolve in [db] and every
     attribute in its relation (raises [Not_found] / [Invalid_argument]
     otherwise — filter with resolvability first, as IND-Discovery
-    does). *)
+    does). [supervise] is polled per side build and per probe; a trip
+    raises [Supervise.Interrupt]. *)

@@ -79,15 +79,9 @@ let inject_csv rng rel fault csv =
           fault;
         }
 
-let failing_oracle ~every (oracle : Dbre.Oracle.t) =
-  if every <= 0 then invalid_arg "Faults.failing_oracle: every must be positive";
-  let n = ref 0 in
-  let tick () =
-    incr n;
-    if !n mod every = 0 then
-      Error.raisef Error.Oracle_failure
-        "injected oracle failure at decision %d" !n
-  in
+(* shared plumbing: wrap the four decision callbacks (naming callbacks
+   never fail or stall a real session) with one [tick] *)
+let wrap_decisions tick (oracle : Dbre.Oracle.t) =
   {
     oracle with
     Dbre.Oracle.on_nei =
@@ -107,3 +101,43 @@ let failing_oracle ~every (oracle : Dbre.Oracle.t) =
         tick ();
         oracle.Dbre.Oracle.conceptualize_hidden a);
   }
+
+let failing_oracle ~every (oracle : Dbre.Oracle.t) =
+  if every <= 0 then invalid_arg "Faults.failing_oracle: every must be positive";
+  let n = ref 0 in
+  wrap_decisions
+    (fun () ->
+      incr n;
+      if !n mod every = 0 then
+        Error.raisef Error.Oracle_failure
+          "injected oracle failure at decision %d" !n)
+    oracle
+
+(* --- execution faults (supervised-runtime harness) --- *)
+
+let slow_oracle ~delay_s (oracle : Dbre.Oracle.t) =
+  if delay_s < 0.0 then invalid_arg "Faults.slow_oracle: negative delay";
+  wrap_decisions (fun () -> Unix.sleepf delay_s) oracle
+
+let cancelling_oracle ~after supervise (oracle : Dbre.Oracle.t) =
+  if after <= 0 then invalid_arg "Faults.cancelling_oracle: after must be positive";
+  let n = ref 0 in
+  wrap_decisions
+    (fun () ->
+      incr n;
+      if !n = after then Supervise.cancel supervise)
+    oracle
+
+let wedge_until flag =
+  while not (Atomic.get flag) do
+    Stdlib.Domain.cpu_relax ()
+  done
+
+let transient ~failures f =
+  if failures < 0 then invalid_arg "Faults.transient: negative failures";
+  let left = Atomic.make failures in
+  fun x ->
+    if Atomic.fetch_and_add left (-1) > 0 then
+      Error.raisef Error.Invariant "injected transient crash (%d left)"
+        (Atomic.get left)
+    else f x

@@ -43,3 +43,35 @@ val failing_oracle : every:int -> Dbre.Oracle.t -> Dbre.Oracle.t
     modeling an expert session dying mid-run. Naming callbacks are left
     untouched (they never fail a real session). Raises
     [Invalid_argument] when [every <= 0]. *)
+
+(** {2 Execution faults}
+
+    Deterministic stand-ins for the pathologies the supervised runtime
+    ({!Relational.Supervise}, {!Relational.Domain_pool.map_supervised})
+    must survive: stalled experts, jobs that wedge forever, and tasks
+    that crash transiently. *)
+
+val slow_oracle : delay_s:float -> Dbre.Oracle.t -> Dbre.Oracle.t
+(** Sleep [delay_s] seconds before every decision — an expert session
+    that still answers, but slowly enough to blow a deadline budget.
+    Raises [Invalid_argument] on a negative delay. *)
+
+val cancelling_oracle :
+  after:int -> Supervise.t -> Dbre.Oracle.t -> Dbre.Oracle.t
+(** Cancel the given supervision token on the [after]-th decision (then
+    keep answering normally) — models an operator hitting ctrl-C at a
+    reproducible point mid-elicitation. Raises [Invalid_argument] when
+    [after <= 0]. *)
+
+val wedge_until : bool Atomic.t -> unit
+(** Spin (with [Domain.cpu_relax]) until the flag flips — the canonical
+    wedged-job body for pool-timeout tests: deterministic to trigger,
+    releasable so test runs terminate. *)
+
+val transient : failures:int -> ('a -> 'b) -> 'a -> 'b
+(** [transient ~failures f] crashes ([Error.Error], code [Invariant])
+    on the first [failures] invocations {e across all arguments}, then
+    behaves as [f] — the retry-once recovery case of
+    {!Relational.Domain_pool.map_supervised}. The countdown is atomic,
+    so it is safe to call from pool workers. Raises [Invalid_argument]
+    on a negative count. *)
