@@ -432,7 +432,7 @@ let b5 () =
                         Dbre.Pipeline.migrate_data = false;
                       }
                     g.Workload.Gen_schema.db
-                    (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)))))
+                    (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)))))
       (if !smoke then [ 4; 8 ] else [ 4; 8; 16; 32 ])
   in
   ignore (run_group (Test.make_grouped ~name:"b5" tests))
@@ -452,7 +452,7 @@ let b6 () =
           Dbre.Pipeline.oracle = Workload.Paper_example.oracle ();
         }
       db
-      (Dbre.Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+      (Dbre.Job_spec.Equijoins (Workload.Paper_example.equijoins ()))
   in
   let fds = result.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.fds in
   let hidden = result.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.hidden in
@@ -540,7 +540,7 @@ let b7 () =
           in
           let r =
             Dbre.Pipeline.run ~config db
-              (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+              (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
           in
           let im =
             Workload.Evaluate.ind_metrics
@@ -595,7 +595,7 @@ let b8 () =
       in
       let r =
         Dbre.Pipeline.run ~config sdb
-          (Dbre.Pipeline.Programs scenario.Workload.Scenarios.programs)
+          (Dbre.Job_spec.Programs scenario.Workload.Scenarios.programs)
       in
       let ric = r.Dbre.Pipeline.restruct_result.Dbre.Restruct.ric in
       let redundant = Deps.Ind_closure.redundant ric in
@@ -619,7 +619,7 @@ let b9 () =
           Dbre.Pipeline.oracle = Workload.Paper_example.oracle ();
         }
       db
-      (Dbre.Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+      (Dbre.Job_spec.Equijoins (Workload.Paper_example.equijoins ()))
   in
   let plan = Dbre.Rewrite.plan result in
   let migrated =
@@ -672,7 +672,7 @@ let b10 () =
       Dbre.Pipeline.migrate_data = false;
     }
   in
-  let input = Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins in
+  let input = Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins in
   let db = g.Workload.Gen_schema.db in
   let ckpt_dir = "_bench_ckpt" in
   rm_rf ckpt_dir;
@@ -913,7 +913,7 @@ let b12 () =
   in
   let db = hospital.Workload.Scenarios.database () in
   let t0 = Unix.gettimeofday () in
-  ignore (Dbre.Pipeline.run ~config db (Dbre.Pipeline.Programs programs));
+  ignore (Dbre.Pipeline.run ~config db (Dbre.Job_spec.Programs programs));
   let pipeline_s = Unix.gettimeofday () -. t0 in
   let sources =
     List.mapi
@@ -1086,7 +1086,7 @@ let b13 () =
     in
     let r =
       Dbre.Pipeline.run ~config g.Workload.Gen_schema.db
-        (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+        (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
     in
     Format.asprintf "F=%a@.H=%a@.IND=%a@.RIC=%a@." Dbre.Report.pp_fds
       r.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.fds Dbre.Report.pp_qattrs
@@ -1266,7 +1266,7 @@ let b14 () =
     in
     let r =
       Dbre.Pipeline.run ~config db
-        (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+        (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
     in
     Format.asprintf "F=%a@.H=%a@.IND=%a@.RIC=%a@." Dbre.Report.pp_fds
       r.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.fds Dbre.Report.pp_qattrs
@@ -1365,7 +1365,7 @@ let b15 () =
     let g = Workload.Gen_schema.generate spec in
     render
       (Dbre.Pipeline.run ~config g.Workload.Gen_schema.db
-         (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins))
+         (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins))
   in
   let dir =
     Filename.concat
@@ -1378,7 +1378,7 @@ let b15 () =
     Dbre.Pipeline.run_checked ~config
       ~supervise:(Supervise.create ~fuel:10 ())
       ~checkpoint_dir:dir g.Workload.Gen_schema.db
-      (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   let degraded =
     match budgeted with
@@ -1394,7 +1394,7 @@ let b15 () =
     render
       (Dbre.Pipeline.run ~config ~checkpoint_dir:dir ~resume_from:dir
          g.Workload.Gen_schema.db
-         (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins))
+         (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins))
   in
   b15_rm_rf dir;
   let identical = resumed = full in
@@ -1414,7 +1414,7 @@ let b15 () =
       Dbre.Pipeline.run_checked ~config
         ~supervise:(Supervise.create ~deadline_s:0.05 ())
         db
-        (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+        (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
     with
     | Ok _ -> true
     | Error _ -> false
@@ -1425,11 +1425,151 @@ let b15 () =
     (pretty_time ((Unix.gettimeofday () -. t0) *. 1e9));
   record ~target:1.0 "deadline/clean-exit" (if clean then 1.0 else 0.0) "bool"
 
+(* ------------------------------------------------------------------ *)
+(* B16: serve mode - submit latency and concurrent throughput          *)
+(* ------------------------------------------------------------------ *)
+
+let b16_spec ~rows ~deps ~label =
+  let emp = Buffer.create (rows * 16) in
+  Buffer.add_string emp "eid,dep,dname\n";
+  for i = 1 to rows do
+    let d = i mod deps in
+    Buffer.add_string emp (Printf.sprintf "%d,d%d,dept-%d\n" i d d)
+  done;
+  let dept = Buffer.create 256 in
+  Buffer.add_string dept "dep,dname,loc\n";
+  for d = 0 to deps - 1 do
+    Buffer.add_string dept (Printf.sprintf "d%d,dept-%d,loc-%d\n" d d d)
+  done;
+  Dbre.Job_spec.make ~label
+    ~sources:
+      [
+        ("Emp", Source.csv_inline (Buffer.contents emp));
+        ("Dept", Source.csv_inline (Buffer.contents dept));
+      ]
+    ~ddl:
+      "CREATE TABLE Emp (eid INT, dep VARCHAR(8), dname VARCHAR(16), PRIMARY \
+       KEY (eid));\n\
+       CREATE TABLE Dept (dep VARCHAR(8), dname VARCHAR(16), loc VARCHAR(8), \
+       PRIMARY KEY (dep));"
+    (Dbre.Job_spec.Sql_scripts
+       [ "SELECT eid FROM Emp, Dept WHERE Emp.dep = Dept.dep" ])
+
+let b16 () =
+  section "B16: serve mode - submit latency and concurrent throughput";
+  let rows = if !smoke then 80 else 20_000 in
+  let socket =
+    Printf.sprintf "/tmp/dbre-b16-%d.sock" (Unix.getpid ())
+  in
+  let server = Dbre_serve.Server.create ~max_jobs:2 ~socket () in
+  Dbre_serve.Server.start server;
+  Fun.protect ~finally:(fun () -> Dbre_serve.Server.stop server)
+  @@ fun () ->
+  (* submit -> first progress event: the wire + scheduling latency a
+     client observes before the daemon demonstrably started its job *)
+  let reps = if !smoke then 3 else 10 in
+  let latencies =
+    List.init reps (fun i ->
+        let c = Dbre_serve.Client.connect socket in
+        Fun.protect ~finally:(fun () -> Dbre_serve.Client.close c)
+        @@ fun () ->
+        let spec = b16_spec ~rows ~deps:8 ~label:(Printf.sprintf "lat%d" i) in
+        let t0 = Unix.gettimeofday () in
+        match Dbre_serve.Client.submit c spec with
+        | Error (code, msg) -> failwith (code ^ ": " ^ msg)
+        | Ok (id, _) -> (
+            match Dbre_serve.Client.watch c id with
+            | Error (code, msg) -> failwith (code ^ ": " ^ msg)
+            | Ok _ ->
+                let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+                (* let the job finish so it does not overlap the next rep *)
+                ignore (Dbre_serve.Client.wait c id);
+                dt))
+  in
+  let mean = List.fold_left ( +. ) 0.0 latencies /. float_of_int reps in
+  Printf.printf "  submit -> first progress event: mean %s over %d reps\n"
+    (pretty_time mean) reps;
+  record "latency/submit-to-first-event" mean "ns";
+
+  (* K-concurrent throughput over 2 runner threads vs the same K jobs
+     submitted one at a time, plus the byte-identity gate: every
+     daemon-run job must match its local Job.run artifacts exactly *)
+  let k = 4 in
+  let specs =
+    List.init k (fun i ->
+        b16_spec ~rows ~deps:(6 + i) ~label:(Printf.sprintf "k%d" i))
+  in
+  let expected =
+    List.map
+      (fun s ->
+        match Dbre.Job.run s with
+        | Ok r -> Dbre.Report.artifacts r
+        | Error _ -> [])
+      specs
+  in
+  let submit_and_wait c s =
+    match Dbre_serve.Client.submit c s with
+    | Error (code, msg) -> failwith (code ^ ": " ^ msg)
+    | Ok (id, _) -> (
+        match Dbre_serve.Client.wait c id with
+        | Ok (_, artifacts) -> artifacts
+        | Error (code, msg) -> failwith (code ^ ": " ^ msg))
+  in
+  let t0 = Unix.gettimeofday () in
+  let sequential =
+    List.map
+      (fun s ->
+        let c = Dbre_serve.Client.connect socket in
+        Fun.protect ~finally:(fun () -> Dbre_serve.Client.close c)
+        @@ fun () -> submit_and_wait c s)
+      specs
+  in
+  let seq_s = Unix.gettimeofday () -. t0 in
+  let results = Array.make k [] in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.mapi
+      (fun i s ->
+        Thread.create
+          (fun () ->
+            let c = Dbre_serve.Client.connect socket in
+            Fun.protect ~finally:(fun () -> Dbre_serve.Client.close c)
+            @@ fun () -> results.(i) <- submit_and_wait c s)
+          ())
+      specs
+  in
+  List.iter Thread.join threads;
+  let conc_s = Unix.gettimeofday () -. t0 in
+  let identical =
+    List.for_all2 (fun a b -> a = b) expected sequential
+    && List.for_all2 (fun a b -> a = b) expected
+         (Array.to_list results)
+  in
+  Printf.printf
+    "  %d jobs: sequential %s, concurrent (2 workers) %s -> %.2fx\n" k
+    (pretty_time (seq_s *. 1e9))
+    (pretty_time (conc_s *. 1e9))
+    (seq_s /. conc_s);
+  Printf.printf "  artifacts byte-identical (local = seq = concurrent): %s\n"
+    (if identical then "OK" else "FAILED");
+  record "throughput/sequential" (seq_s *. 1e9) "ns";
+  record "throughput/concurrent" (conc_s *. 1e9) "ns";
+  (* runner threads are sys-threads sharing one domain: they buy
+     multiplexing (streaming, cancellation, fairness), not CPU
+     parallelism — that lives inside a job's Domain_pool. The gate is
+     therefore an overhead bound, not a speedup floor: interleaving K
+     jobs must not cost more than ~25% over running them back to back
+     (enforced outside --smoke; tiny smoke jobs are all fixed cost) *)
+  record ?target:(full_target 0.8) "throughput/multiplex-margin"
+    (seq_s /. conc_s) "x";
+  record ~target:1.0 "serve/byte-identical" (if identical then 1.0 else 0.0)
+    "bool"
+
 let all_benches =
   [
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
-    ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15);
+    ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
   ]
 
 let () =

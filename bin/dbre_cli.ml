@@ -6,7 +6,10 @@
      inds      stop after IND-Discovery
      discover  exhaustive FD/IND discovery baselines
      lint      span-carrying diagnostics over schemas/workloads/artifacts
-     generate  emit a synthetic workload to a directory *)
+     generate  emit a synthetic workload to a directory
+     serve     persistent analysis daemon on a Unix-domain socket
+     submit    send a job to a running daemon
+     job       query/cancel jobs on a running daemon *)
 
 open Cmdliner
 open Relational
@@ -126,25 +129,6 @@ let on_exhausted_arg =
     & opt string "partial"
     & info [ "on-budget-exhausted" ] ~docv:"POLICY" ~doc)
 
-(* layer the budget flags onto the parsed engine; [Engine.supervisor]
-   then mints the run's token from it inside the pipeline *)
-let with_budget ~deadline ~max_heap_mb ~policy engine =
-  match policy with
-  | "partial" | "fail" ->
-      let on_exhausted = if policy = "fail" then `Fail else `Partial in
-      let max_heap_words =
-        Option.map (fun mb -> mb * 1024 * 1024 / (Sys.word_size / 8)) max_heap_mb
-      in
-      Ok
-        (if deadline = None && max_heap_words = None && on_exhausted = `Partial
-         then engine
-         else
-           Dbre.Engine.with_budget ?deadline_s:deadline ?max_heap_words
-             ~on_exhausted engine)
-  | s ->
-      Error
-        (Printf.sprintf "unknown --on-budget-exhausted %S (use partial|fail)" s)
-
 let lenient_arg =
   let doc =
     "Quarantine unparseable or ill-typed tuples instead of aborting; \
@@ -249,7 +233,7 @@ let example_cmd =
         in
         match
           Dbre.Pipeline.run_checked ~config db
-            (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+            (Dbre.Job_spec.Programs s.Workload.Scenarios.programs)
         with
         | Ok result ->
             report_result ?dot ?markdown result;
@@ -291,15 +275,15 @@ let lint_pre_hook db input =
   let schema = Database.schema db in
   let sources =
     match (input : Dbre.Pipeline.input) with
-    | Dbre.Pipeline.Equijoins _ -> []
-    | Dbre.Pipeline.Programs progs ->
+    | Dbre.Job_spec.Equijoins _ -> []
+    | Dbre.Job_spec.Programs progs ->
         List.mapi
           (fun i p ->
             Dbre_lint.Lint.source
               ~name:(Printf.sprintf "prog%02d" i)
               Dbre_lint.Lint.Program p)
           progs
-    | Dbre.Pipeline.Sql_scripts scripts ->
+    | Dbre.Job_spec.Sql_scripts scripts ->
         List.mapi
           (fun i p ->
             Dbre_lint.Lint.source
@@ -327,47 +311,48 @@ let with_lint_hooks lint config =
       post_hook = Some lint_post_hook;
     }
 
+(* fold the per-run flags into one Job_spec — the exact value a daemon
+   submission would carry — handling the one oracle mode that cannot
+   live in a spec (interactive) as a Job.run override *)
+let spec_of_flags ?label ~ddl ~data ~programs ~oracle ~engine ~deadline
+    ~max_heap_mb ~on_exhausted ~lenient ~checkpoint_dir ~resume () =
+  let interactive = oracle = "interactive" in
+  match
+    Dbre.Job_spec.of_args ?label ~ddl ?data_dir:data ?programs_dir:programs
+      ~engine
+      ~oracle:(if interactive then "auto" else oracle)
+      ?deadline ?max_heap_mb ~on_exhausted ~lenient ?checkpoint_dir ~resume ()
+  with
+  | Error _ as e -> e
+  | Ok spec ->
+      Ok (spec, if interactive then Some (Dbre.Oracle.interactive ()) else None)
+
 let analyze_cmd =
   let run ddl data programs oracle engine deadline max_heap_mb on_exhausted
       lenient lint checkpoint_dir resume dot markdown =
-    let engine =
-      Result.bind (parse_engine engine)
-        (with_budget ~deadline ~max_heap_mb ~policy:on_exhausted)
-    in
-    match (parse_oracle oracle, engine) with
-    | Error msg, _ | _, Error msg ->
+    match
+      spec_of_flags ~ddl ~data:(Some data) ~programs:(Some programs) ~oracle
+        ~engine ~deadline ~max_heap_mb ~on_exhausted ~lenient ~checkpoint_dir
+        ~resume ()
+    with
+    | Error msg ->
         prerr_endline msg;
         1
-    | Ok oracle, Ok engine ->
-        if resume && checkpoint_dir = None then begin
-          prerr_endline "--resume requires --checkpoint-dir";
-          1
-        end
-        else
-          handle_errors ~hint:(not lenient) @@ fun () ->
-          let db, quarantine =
-            load_database ~lenient ~engine ~ddl_path:ddl ~data_dir:data ()
-          in
-          print_quarantine quarantine;
-          let config =
-            with_lint_hooks lint
-              {
-                Dbre.Pipeline.default_config with
-                Dbre.Pipeline.oracle;
-                engine;
-                on_bad_tuple = (if lenient then `Quarantine else `Fail);
-              }
-          in
-          let resume_from = if resume then checkpoint_dir else None in
-          match
-            Dbre.Pipeline.run_checked ~config ~quarantine ?checkpoint_dir
-              ?resume_from db
-              (Dbre.Pipeline.Programs (load_programs programs))
-          with
-          | Ok result ->
-              report_result ?dot ?markdown result;
-              0
-          | Error p -> report_partial ?checkpoint_dir p
+    | Ok (spec, oracle) -> (
+        handle_errors ~hint:(not lenient) @@ fun () ->
+        match Dbre.Job.run ?oracle ~configure:(with_lint_hooks lint) spec with
+        | Ok result ->
+            print_quarantine result.Dbre.Pipeline.quarantine;
+            report_result ?dot ?markdown result;
+            0
+        | Error p ->
+            print_quarantine p.Dbre.Pipeline.p_quarantine;
+            if
+              (not lenient)
+              && p.Dbre.Pipeline.p_error.Dbre.Error.stage = Some Dbre.Error.Load
+            then
+              Format.eprintf "hint: --lenient quarantines unparseable tuples@.";
+            report_partial ?checkpoint_dir p)
   in
   let doc =
     "Reverse-engineer a database given its DDL, extension and programs."
@@ -510,7 +495,7 @@ let migrate_cmd =
         in
         match
           Dbre.Pipeline.run_checked ~config db
-            (Dbre.Pipeline.Programs (load_programs programs))
+            (Dbre.Job_spec.Programs (load_programs programs))
         with
         | Error p -> report_partial p
         | Ok result ->
@@ -626,7 +611,7 @@ let lint_cmd =
   in
   let verify_pipeline ~config db programs =
     match
-      Dbre.Pipeline.run_checked ~config db (Dbre.Pipeline.Programs programs)
+      Dbre.Pipeline.run_checked ~config db (Dbre.Job_spec.Programs programs)
     with
     | Ok result -> Ok (Dbre_lint.Lint.verify result)
     | Error p -> Stdlib.Error p
@@ -810,6 +795,226 @@ let generate_cmd =
     Term.(const run $ out_arg $ seed_arg $ entities_arg $ rows_arg $ scale_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / submit / job                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the analysis daemon." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let state_dir_arg =
+    let doc =
+      "Persist job specs, per-stage checkpoints and artifacts under \
+       $(docv), so a restarted daemon re-adopts settled jobs and resumes \
+       interrupted ones from their last completed stage."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_jobs_arg =
+    let doc =
+      "Number of jobs run concurrently (each under its own supervision \
+       budget; engine-level domain parallelism is shared)."
+    in
+    Arg.(value & opt int 2 & info [ "max-jobs" ] ~docv:"N" ~doc)
+  in
+  let run socket state_dir max_jobs =
+    let server = Dbre_serve.Server.create ~max_jobs ?state_dir ~socket () in
+    Printf.printf "dbre: serving on %s%s (max %d concurrent jobs)\n%!" socket
+      (match state_dir with
+      | Some d -> Printf.sprintf ", state in %s" d
+      | None -> "")
+      max_jobs;
+    Dbre_serve.Server.run server;
+    0
+  in
+  let doc =
+    "Run the persistent analysis daemon: accepts jobs over a length-prefixed \
+     JSON protocol, streams per-stage progress, survives restarts via its \
+     state directory."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ state_dir_arg $ max_jobs_arg)
+
+let print_event ev =
+  let s k = Option.value ~default:"" (Json.mem_string k ev) in
+  match s "kind" with
+  | "loading" -> Printf.printf "loading %s\n%!" (s "relation")
+  | "loaded" ->
+      Printf.printf "loaded %s (%d rows)\n%!" (s "relation")
+        (Option.value ~default:0 (Json.mem_int "rows" ev))
+  | "stage" -> Printf.printf "[%s] %s\n%!" (s "stage") (s "phase")
+  | "diagnostic" ->
+      Printf.printf "%s[%s]: %s\n%!" (s "severity") (s "code") (s "message")
+  | "settled" -> Printf.printf "settled: %s\n%!" (s "state")
+  | _ -> print_endline (Json.to_string ev)
+
+let print_artifacts artifacts =
+  List.iter
+    (fun (name, text) ->
+      Printf.printf "=== %s ===\n%s%s" name text
+        (if String.length text > 0 && text.[String.length text - 1] = '\n'
+         then ""
+         else "\n"))
+    artifacts
+
+let with_client socket f =
+  match Dbre_serve.Client.connect socket with
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "dbre: cannot connect to %s: %s\n" socket
+        (Unix.error_message err);
+      1
+  | client ->
+      Fun.protect ~finally:(fun () -> Dbre_serve.Client.close client)
+        (fun () -> f client)
+
+let protocol_error (code, msg) =
+  Printf.eprintf "dbre: %s: %s\n" code msg;
+  1
+
+let submit_cmd =
+  let data_arg =
+    let doc = "Directory holding one <relation>.csv per relation." in
+    Arg.(value & opt (some dir) None & info [ "data" ] ~docv:"DIR" ~doc)
+  in
+  let programs_arg =
+    let doc = "Directory of application-program sources to scan." in
+    Arg.(value & opt (some dir) None & info [ "programs" ] ~docv:"DIR" ~doc)
+  in
+  let label_arg =
+    let doc = "Display label for the job." in
+    Arg.(value & opt (some string) None & info [ "label" ] ~docv:"NAME" ~doc)
+  in
+  let wait_arg =
+    let doc =
+      "Stream progress events until the job settles, then print its \
+       artifacts."
+    in
+    Arg.(value & flag & info [ "wait" ] ~doc)
+  in
+  let run socket ddl data programs label oracle engine deadline max_heap_mb
+      on_exhausted lenient wait =
+    match
+      spec_of_flags ?label ~ddl ~data ~programs ~oracle ~engine ~deadline
+        ~max_heap_mb ~on_exhausted ~lenient ~checkpoint_dir:None ~resume:false
+        ()
+    with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok (spec, _interactive) -> (
+        with_client socket @@ fun client ->
+        match Dbre_serve.Client.submit client spec with
+        | Error e -> protocol_error e
+        | Ok (id, diagnostics) -> (
+            List.iter print_event diagnostics;
+            Printf.printf "submitted %s\n%!" id;
+            if not wait then 0
+            else
+              let rec stream since =
+                match Dbre_serve.Client.watch client ~since id with
+                | Error e -> Error e
+                | Ok (events, next, settled) ->
+                    List.iter print_event events;
+                    if settled then Ok () else stream next
+              in
+              match
+                Result.bind (stream 0) (fun () ->
+                    Dbre_serve.Client.artifacts client id)
+              with
+              | Error e -> protocol_error e
+              | Ok (artifacts, state) ->
+                  print_artifacts artifacts;
+                  if state = "done" then 0 else 1))
+  in
+  let doc =
+    "Submit an analysis job to a running daemon (same flags as analyze; the \
+     job spec travels as JSON over the socket)."
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ socket_arg $ ddl_arg $ data_arg $ programs_arg $ label_arg
+      $ oracle_arg $ engine_arg $ deadline_arg $ max_heap_arg
+      $ on_exhausted_arg $ lenient_arg $ wait_arg)
+
+let job_cmd =
+  let action_arg =
+    let doc =
+      "'list', 'status', 'events', 'cancel', 'artifacts' or 'shutdown'."
+    in
+    Arg.(value & pos 0 string "list" & info [] ~docv:"ACTION" ~doc)
+  in
+  let id_arg =
+    let doc = "Job id (returned by submit)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run socket action id =
+    with_client socket @@ fun client ->
+    let with_id f =
+      match id with
+      | None ->
+          Printf.eprintf "dbre: job %s needs a job id\n" action;
+          1
+      | Some id -> f id
+    in
+    match action with
+    | "list" -> (
+        match Dbre_serve.Client.jobs client with
+        | Error e -> protocol_error e
+        | Ok jobs ->
+            List.iter
+              (fun j ->
+                let s k = Option.value ~default:"" (Json.mem_string k j) in
+                Printf.printf "%-12s %-10s %s\n" (s "id") (s "state")
+                  (s "label"))
+              jobs;
+            0)
+    | "status" ->
+        with_id (fun id ->
+            match Dbre_serve.Client.status client id with
+            | Error e -> protocol_error e
+            | Ok status ->
+                print_endline (Json.to_string status);
+                0)
+    | "events" ->
+        with_id (fun id ->
+            match Dbre_serve.Client.events client id with
+            | Error e -> protocol_error e
+            | Ok (events, _, _) ->
+                List.iter print_event events;
+                0)
+    | "cancel" ->
+        with_id (fun id ->
+            match Dbre_serve.Client.cancel client id with
+            | Error e -> protocol_error e
+            | Ok state ->
+                Printf.printf "%s: %s\n" id state;
+                0)
+    | "artifacts" ->
+        with_id (fun id ->
+            match Dbre_serve.Client.artifacts client id with
+            | Error e -> protocol_error e
+            | Ok (artifacts, _) ->
+                print_artifacts artifacts;
+                0)
+    | "shutdown" ->
+        Dbre_serve.Client.shutdown client;
+        0
+    | other ->
+        Printf.eprintf
+          "dbre: unknown job action %S (use \
+           list|status|events|cancel|artifacts|shutdown)\n"
+          other;
+        1
+  in
+  let doc = "Inspect or cancel jobs on a running analysis daemon." in
+  Cmd.v (Cmd.info "job" ~doc) Term.(const run $ socket_arg $ action_arg $ id_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "reverse engineering of denormalized relational databases" in
@@ -819,5 +1024,5 @@ let () =
        (Cmd.group info
           [
             example_cmd; analyze_cmd; inds_cmd; discover_cmd; migrate_cmd;
-            lint_cmd; generate_cmd;
+            lint_cmd; generate_cmd; serve_cmd; submit_cmd; job_cmd;
           ]))

@@ -54,7 +54,7 @@ let run_with name oracle =
   let result =
     match
       Dbre.Pipeline.run_checked ~config db
-        (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+        (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
     with
     | Ok r -> r
     | Error p ->
@@ -131,7 +131,7 @@ let () =
   let result =
     match
       Dbre.Pipeline.run_checked ~config db2
-        (Dbre.Pipeline.Equijoins g2.Workload.Gen_schema.equijoins)
+        (Dbre.Job_spec.Equijoins g2.Workload.Gen_schema.equijoins)
     with
     | Ok r -> r
     | Error p ->

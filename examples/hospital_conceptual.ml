@@ -38,7 +38,7 @@ let () =
   let result =
     match
       Dbre.Pipeline.run_checked ~config db
-        (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+        (Dbre.Job_spec.Programs s.Workload.Scenarios.programs)
     with
     | Ok r -> r
     | Error p ->

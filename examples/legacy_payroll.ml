@@ -79,7 +79,7 @@ let () =
   let result =
     match
       Dbre.Pipeline.run_checked ~config db
-        (Dbre.Pipeline.Programs scenario.Workload.Scenarios.programs)
+        (Dbre.Job_spec.Programs scenario.Workload.Scenarios.programs)
     with
     | Ok r -> r
     | Error p ->

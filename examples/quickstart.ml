@@ -21,7 +21,7 @@ let () =
   Format.printf "N = %a@.@." Dbre.Report.pp_n_set (Database.schema db);
 
   (* 2. The application knowledge: equi-joins from the programs. The
-     front-end can extract them from sources (Pipeline.Programs); here we
+     front-end can extract them from sources (Job_spec.Programs); here we
      pass the already-computed set Q of §5. *)
   let q = Workload.Paper_example.equijoins () in
   Format.printf "Q (from the application programs):@.%a@.@."
@@ -36,7 +36,7 @@ let () =
      a stage failure instead of raising. *)
   let config = { Dbre.Pipeline.default_config with Dbre.Pipeline.oracle } in
   let result =
-    match Dbre.Pipeline.run_checked ~config db (Dbre.Pipeline.Equijoins q) with
+    match Dbre.Pipeline.run_checked ~config db (Dbre.Job_spec.Equijoins q) with
     | Ok r -> r
     | Error p ->
         Format.eprintf "pipeline failed: %a@." Dbre.Error.pp
@@ -89,4 +89,42 @@ let () =
   let oc = open_out path in
   output_string oc dot;
   close_out oc;
-  Format.printf "EER schema written to %s (render with: dot -Tpng)@." path
+  Format.printf "EER schema written to %s (render with: dot -Tpng)@." path;
+
+  (* 10. The same analysis as one serializable job. A Job_spec gathers
+     the DDL, one Source per relation's extension and the engine/oracle
+     options into a single value with a pinned JSON encoding; the
+     one-shot CLI and the `dbre serve` daemon both run exactly such
+     specs through Job.run, so what we get here is byte for byte what a
+     daemon client would fetch. The scripted expert cannot travel in a
+     spec, so it is passed to Job.run directly. *)
+  let fresh = Workload.Paper_example.database () in
+  let spec =
+    Dbre.Job_spec.make ~label:"quickstart"
+      ~sources:
+        (List.map
+           (fun (rel : Relation.t) ->
+             (rel.Relation.name, Source.in_memory (Database.table fresh rel.Relation.name)))
+           (Schema.relations (Database.schema fresh)))
+      ~ddl:Workload.Paper_example.ddl
+      (Dbre.Job_spec.Programs (Workload.Paper_example.programs ()))
+  in
+  Format.printf "@.Job spec: %s@." (Dbre.Job_spec.describe spec);
+  (match Dbre.Job_spec.to_string spec with
+  | Ok json ->
+      Format.printf "serialized spec: %d bytes of JSON (submit with: dbre \
+                     submit)@."
+        (String.length json)
+  | Error e -> Format.printf "spec not serializable: %s@." e);
+  match Dbre.Job.run ~oracle:(Workload.Paper_example.oracle ()) spec with
+  | Error p ->
+      Format.eprintf "job failed: %a@." Dbre.Error.pp p.Dbre.Pipeline.p_error;
+      exit 1
+  | Ok job_result ->
+      let same =
+        List.equal
+          (fun (n1, a1) (n2, a2) -> String.equal n1 n2 && String.equal a1 a2)
+          (Dbre.Report.artifacts result)
+          (Dbre.Report.artifacts job_result)
+      in
+      Format.printf "job artifacts identical to the in-process run: %b@." same

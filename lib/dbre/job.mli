@@ -1,0 +1,54 @@
+(** Run a {!Job_spec.t}: the one entry point shared by the one-shot CLI
+    and the analysis daemon.
+
+    [Job] is the glue between a serialized spec and {!Pipeline}: it
+    parses the spec's DDL, loads every source through
+    {!Relational.Source.load} (honoring leniency and the engine's
+    pool), builds the {!Pipeline.config} the spec denotes, and runs
+    {!Pipeline.run_checked} under the spec's checkpoint/resume options.
+    Because both front ends call exactly this function with exactly the
+    spec, their artifacts are byte-identical by construction. *)
+
+open Relational
+
+type event =
+  | Loading of string  (** about to load this relation's source *)
+  | Loaded of string * int
+      (** relation loaded with this many tuples (post-quarantine) *)
+  | Stage of Pipeline.stage_event
+
+val database :
+  ?supervise:Supervise.t ->
+  ?progress:(event -> unit) ->
+  Job_spec.t ->
+  (Database.t * Quarantine.report list, Error.t) result
+(** Parse the spec's DDL and load every source into a fresh database.
+    Relations without a source keep an empty extension. Errors: DDL
+    that does not parse ([Sql_parse]), a source naming an undeclared
+    relation ([Unknown_relation]), and whatever {!Source.load} reports.
+    Lenient specs quarantine bad tuples and collect the reports. *)
+
+val config :
+  ?oracle:Oracle.t -> ?progress:(event -> unit) -> Job_spec.t ->
+  Pipeline.config
+(** The {!Pipeline.config} the spec denotes. [?oracle] overrides the
+    spec's serialized oracle {e mode} with a live value — how the CLI
+    injects an interactive oracle that cannot travel in a spec. *)
+
+val run :
+  ?oracle:Oracle.t ->
+  ?configure:(Pipeline.config -> Pipeline.config) ->
+  ?progress:(event -> unit) ->
+  ?supervise:Supervise.t ->
+  Job_spec.t ->
+  (Pipeline.result, Pipeline.partial) result
+(** [database] then {!Pipeline.run_checked}, threading quarantine
+    reports, checkpoint/resume directories and the supervision token
+    (default: {!Job_spec.supervisor}, i.e. the engine budget plus the
+    spec's [fuel]). A load failure is reported as [Error partial] with
+    no completed stages, exactly like a first-stage failure — callers
+    see one shape. [?configure] post-processes the derived
+    {!Pipeline.config} (how the CLI installs its lint hooks);
+    [?progress] observes loading and every {!Pipeline.stage_event};
+    pass [?supervise] explicitly to keep a handle for cancelling the
+    run from another thread. *)

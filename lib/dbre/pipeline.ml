@@ -1,10 +1,20 @@
 open Relational
 open Deps
 
-type input =
+type input = Job_spec.workload =
   | Equijoins of Sqlx.Equijoin.t list
+      [@deprecated "use Job_spec.Equijoins: Pipeline.input is Job_spec.workload"]
   | Programs of string list
+      [@deprecated "use Job_spec.Programs: Pipeline.input is Job_spec.workload"]
   | Sql_scripts of string list
+      [@deprecated
+        "use Job_spec.Sql_scripts: Pipeline.input is Job_spec.workload"]
+
+type stage_event =
+  | Stage_started of Error.stage
+  | Stage_restored of Error.stage
+  | Stage_finished of Error.stage
+  | Stage_failed of Error.stage * Error.t
 
 type config = {
   oracle : Oracle.t;
@@ -13,6 +23,7 @@ type config = {
   on_bad_tuple : [ `Fail | `Quarantine ];
   pre_hook : (Database.t -> input -> unit) option;
   post_hook : (result -> unit) option;
+  progress : (stage_event -> unit) option;
 }
 
 and result = {
@@ -34,6 +45,7 @@ let default_config =
     on_bad_tuple = `Fail;
     pre_hook = None;
     post_hook = None;
+    progress = None;
   }
 
 type partial = {
@@ -47,25 +59,30 @@ type partial = {
   p_error : Error.t;
 }
 
-let load_extension ?supervise config rel csv =
+let load_source ?supervise config rel source =
   let mode =
     match config.on_bad_tuple with
     | `Fail -> `Strict
     | `Quarantine -> `Quarantine
   in
-  match Csv.load ~mode ?pool:(Engine.pool config.engine) ?supervise rel csv with
+  match
+    Source.load ~mode ?pool:(Engine.pool config.engine) ?supervise rel source
+  with
   | Ok loaded -> loaded
   | Stdlib.Error e -> raise (Error.Error e)
 
+let load_extension ?supervise config rel csv =
+  load_source ?supervise config rel (Source.csv_inline csv)
+
 let extract_equijoins db = function
-  | Equijoins q -> q
-  | Programs sources ->
+  | Job_spec.Equijoins q -> q
+  | Job_spec.Programs sources ->
       let extraction = Sqlx.Embedded.scan_files sources in
       Sqlx.Equijoin.dedupe
         (List.concat_map
            (Sqlx.Equijoin.of_statement (Database.schema db))
            extraction.Sqlx.Embedded.statements)
-  | Sql_scripts scripts ->
+  | Job_spec.Sql_scripts scripts ->
       Sqlx.Equijoin.dedupe
         (List.concat_map
            (Sqlx.Equijoin.of_script (Database.schema db))
@@ -88,6 +105,13 @@ let run_checked ?(config = default_config) ?supervise ?(quarantine = [])
     | None -> Engine.supervisor config.engine
   in
   let oracle, events = Oracle.traced config.oracle in
+  (* progress is observability, never control flow: a listener that
+     raises must not change the run's outcome *)
+  let notify ev =
+    match config.progress with
+    | None -> ()
+    | Some f -> ( try f ev with _ -> ())
+  in
   (* Staleness cascade: once a stage's restored artifact was partial
      (completed here from its boundary) or a fresh artifact came back
      partial, every downstream checkpoint was derived from a different
@@ -109,14 +133,20 @@ let run_checked ?(config = default_config) ?supervise ?(quarantine = [])
   (* resume when a valid checkpoint exists, otherwise compute (under the
      error boundary) and checkpoint the fresh artifact best-effort *)
   let stage_run name restore_stage write_stage f =
+    notify (Stage_started name);
     match restore restore_stage with
-    | Some v -> Ok v
+    | Some v ->
+        notify (Stage_restored name);
+        Ok v
     | None -> (
         match wrap name f with
         | Ok v ->
             save (fun ~dir -> write_stage ~dir v);
+            notify (Stage_finished name);
             Ok v
-        | Stdlib.Error _ as e -> e)
+        | Stdlib.Error e ->
+            notify (Stage_failed (name, e));
+            Stdlib.Error e)
   in
   (* Ind and Rhs artifacts may themselves be partial (a budget tripped
      mid-stage). A restored complete artifact is final; a restored
@@ -124,16 +154,22 @@ let run_checked ?(config = default_config) ?supervise ?(quarantine = [])
      is processed; either way a partial anywhere marks downstream
      checkpoints stale. *)
   let partial_stage name restore_stage write_stage ~is_partial compute =
+    notify (Stage_started name);
     match restore restore_stage with
-    | Some v when not (is_partial v) -> Ok v
+    | Some v when not (is_partial v) ->
+        notify (Stage_restored name);
+        Ok v
     | prior -> (
         if Option.is_some prior then stale := true;
         match wrap name (fun () -> compute prior) with
         | Ok v ->
             if is_partial v then stale := true;
             save (fun ~dir -> write_stage ~dir v);
+            notify (Stage_finished name);
             Ok v
-        | Stdlib.Error _ as e -> e)
+        | Stdlib.Error e ->
+            notify (Stage_failed (name, e));
+            Stdlib.Error e)
   in
   let no_ckpt ~dir:_ = None in
   let no_write ~dir:_ _ = () in

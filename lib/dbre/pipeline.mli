@@ -14,13 +14,33 @@
 
 open Relational
 
-type input =
+type input = Job_spec.workload =
   | Equijoins of Sqlx.Equijoin.t list
+      [@deprecated "use Job_spec.Equijoins: Pipeline.input is Job_spec.workload"]
       (** the paper's assumption: [Q] has been computed *)
   | Programs of string list
+      [@deprecated "use Job_spec.Programs: Pipeline.input is Job_spec.workload"]
       (** host-program sources: embedded SQL is scanned, parsed, and
           [Q] extracted *)
-  | Sql_scripts of string list  (** plain SQL script texts *)
+  | Sql_scripts of string list
+      [@deprecated
+        "use Job_spec.Sql_scripts: Pipeline.input is Job_spec.workload"]
+      (** plain SQL script texts *)
+(** The workload is now described by {!Job_spec.workload}; [input]
+    remains as an equation of it so existing signatures keep compiling.
+    The re-declared constructors are deprecated — construct and match
+    through [Job_spec]. *)
+
+type stage_event =
+  | Stage_started of Error.stage
+  | Stage_restored of Error.stage
+      (** the artifact was loaded from a checkpoint, not recomputed *)
+  | Stage_finished of Error.stage
+  | Stage_failed of Error.stage * Error.t
+      (** the per-stage progress stream: each stage brackets itself with
+          [Started] then exactly one of [Restored]/[Finished]/[Failed].
+          This is what the analysis daemon forwards to watching
+          clients. *)
 
 type config = {
   oracle : Oracle.t;
@@ -42,6 +62,10 @@ type config = {
       (** called with the completed result before it is returned (under
           the [Translate] error boundary) — e.g. verification linting of
           the produced artifacts *)
+  progress : (stage_event -> unit) option;
+      (** observability tap: called synchronously as each stage starts
+          and settles. Exceptions it raises are swallowed — a listener
+          can never change the run's outcome. *)
 }
 
 and result = {
@@ -60,7 +84,7 @@ and result = {
 val default_config : config
 (** {!Oracle.automatic}, {!Engine.default} (memoized columnar,
     sequential), data migration on, strict ([`Fail]) tuple handling,
-    no hooks. *)
+    no hooks, no progress tap. *)
 
 type partial = {
   p_equijoins : Sqlx.Equijoin.t list option;
@@ -134,17 +158,28 @@ val run :
     @deprecated New code should use {!run_checked}, which also carries
     the artifacts of the stages that completed before the failure. *)
 
+val load_source :
+  ?supervise:Supervise.t ->
+  config ->
+  Relation.t ->
+  Source.t ->
+  Table.t * Quarantine.report option
+(** Load one relation's extension from any {!Source.t}, honoring
+    [config.on_bad_tuple]: [`Fail] loads strictly (raises
+    [Error.Error] on bad input), [`Quarantine] loads leniently and
+    returns the report when any tuple was quarantined. The engine's
+    pool parallelizes file/inline CSV sources; a tripped [supervise]
+    token raises [Error.Error] (code [Resource_exhausted], stage
+    [Load]). *)
+
 val load_extension :
   ?supervise:Supervise.t ->
   config ->
   Relation.t ->
   string ->
   Table.t * Quarantine.report option
-(** Load one relation's CSV extension honoring [config.on_bad_tuple],
-    via {!Csv.load}: [`Fail] loads strictly (raises [Error.Error] on
-    bad input), [`Quarantine] loads leniently and returns the report
-    when any tuple was quarantined. A tripped [supervise] token raises
-    [Error.Error] (code [Resource_exhausted], stage [Load]). *)
+(** [load_source] on {!Source.csv_inline} — the historical CSV-text
+    entry point. *)
 
 type degradation = {
   deg_relation : string;

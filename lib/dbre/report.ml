@@ -340,3 +340,21 @@ let pp_result ppf (r : Pipeline.result) =
   section "Expert decisions";
   pp_events ppf r.Pipeline.events;
   Format.fprintf ppf "@]"
+
+(* The canonical artifact set: one deterministic rendering per named
+   artifact, used verbatim by the CLI, the analysis daemon and the
+   byte-identity tests/benches — equality of these strings is the
+   definition of "same result". *)
+let artifacts (r : Pipeline.result) =
+  [
+    ("F", Format.asprintf "%a" pp_fds r.Pipeline.rhs_result.Rhs_discovery.fds);
+    ( "H",
+      Format.asprintf "%a" pp_qattrs
+        r.Pipeline.rhs_result.Rhs_discovery.hidden );
+    ( "IND",
+      Format.asprintf "%a" pp_inds r.Pipeline.ind_result.Ind_discovery.inds );
+    ( "RIC",
+      Format.asprintf "%a" pp_inds r.Pipeline.restruct_result.Restruct.ric );
+    ( "EER",
+      Er.Text_render.to_string r.Pipeline.translate_result.Translate.eer );
+  ]

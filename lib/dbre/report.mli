@@ -41,3 +41,10 @@ val markdown : ?title:string -> Pipeline.result -> string
     (with redundancy analysis), the EER schema as a fenced block plus
     its Graphviz source, and the expert-decision log. Intended for
     re-engineering project documentation ([dbre analyze --markdown]). *)
+
+val artifacts : Pipeline.result -> (string * string) list
+(** The canonical artifact set, one deterministic rendering per name:
+    [F] (elicited FDs), [H] (hidden attributes), [IND], [RIC] and
+    [EER] (text rendering). The daemon persists and serves exactly
+    these strings, and the byte-identity guarantees (serve vs one-shot,
+    resume vs unbudgeted) are stated — and tested — over them. *)

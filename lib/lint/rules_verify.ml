@@ -146,3 +146,100 @@ let l206 (r : Dbre.Pipeline.result) =
   ind @ rhs
 
 let check_result r = l201 r @ l202 r @ l203 r @ l204 r @ l205 r @ l206 r
+
+(* L207 — pre-run check of a job's sources against its DDL: every
+   source must target a declared relation, and where a source's shape
+   is observable without loading it (an in-memory table's relation, a
+   CSV document's first record when unquoted) it must agree with the
+   declared arity. Warnings, not errors: the daemon surfaces them over
+   the protocol before the run, and the run itself still fails with a
+   precise typed error if the disagreement is real. *)
+
+(* width of the first CSV record, when it can be read cheaply and
+   unambiguously: None for readers (probing consumes them), missing
+   files, empty documents, or records using quotes (a quoted comma
+   would make the naive count wrong) *)
+let first_record_width (source : Source.t) =
+  let width_of_text text =
+    let line =
+      match String.index_opt text '\n' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    let line =
+      if String.length line > 0 && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    if line = "" || String.contains line '"' then None
+    else
+      Some
+        (1
+        + String.fold_left
+            (fun n c -> if c = ',' then n + 1 else n)
+            0 line)
+  in
+  match source with
+  | Source.Csv_inline text -> width_of_text text
+  | Source.Csv_file path -> (
+      match open_in_bin path with
+      | exception Sys_error _ -> None
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match input_line ic with
+              | line -> width_of_text line
+              | exception End_of_file -> None))
+  | Source.In_memory _ | Source.Reader _ -> None
+
+let check_job (spec : Dbre.Job_spec.t) =
+  match Sqlx.Ddl.schema_of_script spec.Dbre.Job_spec.ddl with
+  | exception Sqlx.Parser.Error _ -> []
+  | schema, _fks ->
+      List.filter_map
+        (fun (name, source) ->
+          match Schema.find schema name with
+          | None ->
+              Some
+                (diag ~code:"L207" Diagnostic.Warning
+                   (Printf.sprintf
+                      "job source %s targets relation %s, which the DDL does \
+                       not declare"
+                      (Source.describe source) name))
+          | Some rel -> (
+              let arity = List.length rel.Relation.attrs in
+              match source with
+              | Source.In_memory table ->
+                  let have = Table.schema table in
+                  if
+                    String.equal have.Relation.name rel.Relation.name
+                    && have.Relation.attrs = rel.Relation.attrs
+                  then None
+                  else
+                    Some
+                      (diag ~code:"L207" Diagnostic.Warning
+                         (Printf.sprintf
+                            "job source for %s is an in-memory table \
+                             declaring %s(%s), but the DDL declares %s(%s)"
+                            name have.Relation.name
+                            (String.concat ", " have.Relation.attrs)
+                            rel.Relation.name
+                            (String.concat ", " rel.Relation.attrs)))
+              | Source.Csv_file path when not (Sys.file_exists path) ->
+                  Some
+                    (diag ~code:"L207" Diagnostic.Warning
+                       (Printf.sprintf
+                          "job source for %s names a missing file %s" name
+                          path))
+              | _ -> (
+                  match first_record_width source with
+                  | Some w when w <> arity ->
+                      Some
+                        (diag ~code:"L207" Diagnostic.Warning
+                           (Printf.sprintf
+                              "job source for %s has %d-field records, but \
+                               the DDL declares %d attributes"
+                              name w arity))
+                  | _ -> None)))
+        spec.Dbre.Job_spec.sources

@@ -26,3 +26,12 @@ val check_result : Dbre.Pipeline.result -> Diagnostic.t list
 (** All verification rules over a completed run. Diagnostics carry no
     spans (artifacts have no source text); the relation/constraint is
     named in the message. *)
+
+val check_job : Dbre.Job_spec.t -> Diagnostic.t list
+(** [L207] (warning) — pre-run check that a job's sources agree with
+    its DDL: a source targeting an undeclared relation, an in-memory
+    table whose relation disagrees with the declaration, a source file
+    that does not exist, or a CSV source whose first record's width
+    (when observable without quotes) differs from the declared arity.
+    The analysis daemon runs this at submission and streams the
+    findings to the client before the job starts. *)

@@ -978,6 +978,30 @@ let load ?(header = true) ?(mode = `Strict) ?pool ?supervise
   | exception Supervise.Interrupt r ->
       Stdlib.Error (Supervise.error_of ~stage:Error.Load r)
 
+let load_from_reader ?(header = true) ?(mode = `Strict)
+    ?(supervise = Supervise.unlimited) rel read =
+  let strict = mode = `Strict in
+  try
+    let k = sink_make ~strict ~header rel in
+    let st = scanner_make (supervised_emit supervise (sink_emit k)) in
+    let rec loop () =
+      Supervise.check supervise;
+      match read () with
+      | Some chunk ->
+          scanner_feed st chunk 0 (String.length chunk);
+          loop ()
+      | None -> ()
+    in
+    loop ();
+    wrap mode (finalize ~strict k (scanner_finish st))
+  with
+  | Error.Error e -> Stdlib.Error e
+  | Supervise.Interrupt r -> Stdlib.Error (Supervise.error_of ~stage:Error.Load r)
+  | Sys_error msg ->
+      Stdlib.Error
+        (Error.make ~stage:Error.Load ~relation:rel.Relation.name
+           Error.Io_error msg)
+
 let load_file ?(header = true) ?(mode = `Strict) ?pool
     ?(supervise = Supervise.unlimited) ?min_parallel_bytes rel path =
   let strict = mode = `Strict in

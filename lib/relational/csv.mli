@@ -124,6 +124,20 @@ val load_file :
     read failures come back as [Error e] with code {!Error.Io_error}
     (never an exception). *)
 
+val load_from_reader :
+  ?header:bool ->
+  ?mode:[ `Strict | `Quarantine ] ->
+  ?supervise:Supervise.t ->
+  Relation.t ->
+  (unit -> string option) ->
+  (Table.t * Quarantine.report option, Error.t) result
+(** {!load} fed from a chunk reader ([None] means EOF) — the streaming
+    back end of {!Source.Reader} extensions, where a live database
+    cursor plugs in. Chunk boundaries may fall anywhere; the result is
+    identical to {!load} of the concatenation. Always sequential (a
+    reader has no random access to split on). A [Sys_error] escaping
+    the reader comes back as [Error e] with code {!Error.Io_error}. *)
+
 val load_reference :
   ?header:bool ->
   ?mode:[ `Strict | `Quarantine ] ->

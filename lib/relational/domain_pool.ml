@@ -46,6 +46,14 @@ type job = {
 
 type t = {
   size : int;  (* worker domains + the submitting caller *)
+  submission : Mutex.t;
+      (* serializes whole batches: the pool runs one batch at a time,
+         but since the analysis daemon it can be *asked* from several
+         sys-threads at once (concurrent jobs sharing one engine).
+         Each submitting thread holds this for its entire batch, so
+         the single-submitter invariant of [current]/[epoch]/[batches]
+         is preserved; nested submission from inside a task still
+         deadlocks and is still unsupported. *)
   mutex : Mutex.t;
   work_ready : Condition.t;
   batch_done : Condition.t;
@@ -140,6 +148,7 @@ let create n =
   let t =
     {
       size;
+      submission = Mutex.create ();
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       batch_done = Condition.create ();
@@ -234,6 +243,8 @@ let clear_current t =
 
 let parallel_for ?supervise t count run =
   if count > 0 then begin
+    Mutex.lock t.submission;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.submission) @@ fun () ->
     t.batches <- t.batches + 1;
     if t.size = 1 || count = 1 || t.stop then begin
       (* sequential fallback: same tasks, ascending order *)
@@ -349,6 +360,8 @@ let abandon t job done_ =
 
 let map_supervised t ?(supervise = Supervise.unlimited) ?timeout_s
     ?(retries = 1) ?(backoff_s = 0.002) f xs =
+  Mutex.lock t.submission;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.submission) @@ fun () ->
   let retries = max 0 retries in
   let n = Array.length xs in
   let results = Array.make n None in

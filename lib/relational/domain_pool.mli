@@ -20,9 +20,11 @@
     workers written off as wedged — the hardening a long-running DBRE
     service needs against pathological jobs.
 
-    Batches must be submitted from one domain at a time (in this
-    codebase: the pipeline's main domain); nested submission from
-    inside a task deadlocks and is not supported. *)
+    Batches may be submitted from several sys-threads of one domain
+    (the analysis daemon's concurrent jobs share the registry pools):
+    an internal lock serializes whole batches, so submitters queue and
+    each batch runs exactly as if it were the only one. Nested
+    submission from inside a task deadlocks and is not supported. *)
 
 type t
 

@@ -1,0 +1,56 @@
+(** Client side of the daemon's wire protocol — used by the CLI's
+    [submit]/[job] subcommands and the serve tests. One {!t} is one
+    connection; requests on it are synchronous (frame out, frame
+    back). *)
+
+open Relational
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket. Raises
+    [Unix.Unix_error] when nothing listens there. *)
+
+val close : t -> unit
+
+val request : t -> Json.t -> Json.t
+(** Send one frame, read one response frame. Raises {!Protocol.Closed}
+    if the server hangs up. *)
+
+val ping : t -> bool
+
+val submit :
+  t -> Dbre.Job_spec.t -> (string * Json.t list, string * string) result
+(** Submit a spec: [Ok (job id, L207 diagnostics)] or
+    [Error (code, message)]. Serialization failures (a [Reader]
+    source) surface as [Error ("spec-unserializable", …)] without
+    touching the wire. *)
+
+val status : t -> string -> (Json.t, string * string) result
+
+val events :
+  t -> ?since:int -> string -> (Json.t list * int * bool, string * string) result
+(** [(events, next, settled)] without blocking. *)
+
+val watch :
+  t -> ?since:int -> string -> (Json.t list * int * bool, string * string) result
+(** Long-poll: returns once an event past [since] exists or the job
+    settles. Loop on the returned [next] to stream. *)
+
+val cancel : t -> string -> (string, string * string) result
+(** The job's state right after the cancel took effect. *)
+
+val artifacts :
+  t -> string -> ((string * string) list * string, string * string) result
+(** A settled job's canonical artifacts plus its final state;
+    [Error ("not-settled", _)] while it is queued or running. *)
+
+val wait :
+  t -> ?since:int -> string -> (string * (string * string) list, string * string) result
+(** Stream [watch] until the job settles, discarding events, then
+    fetch {!artifacts}: [Ok (final state, artifacts)]. *)
+
+val jobs : t -> (Json.t list, string * string) result
+
+val shutdown : t -> unit
+(** Ask the daemon to stop; tolerates the connection dying mid-reply. *)

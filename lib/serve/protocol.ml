@@ -1,0 +1,77 @@
+(* Length-prefixed JSON framing: see protocol.mli. *)
+
+open Relational
+
+let max_frame = 16 * 1024 * 1024
+
+exception Closed
+exception Frame_error of string
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes off len in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write_frame fd json =
+  let payload = Json.to_string json in
+  let len = String.length payload in
+  if len > max_frame then raise (Frame_error "outgoing frame too large");
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+(* [exn] is what an EOF here means: [Closed] at a frame boundary,
+   [Frame_error] inside one *)
+let really_read fd buf off len exn =
+  let rec go off len =
+    if len > 0 then
+      match Unix.read fd buf off len with
+      | 0 -> raise exn
+      | n -> go (off + n) (len - n)
+  in
+  go off len
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  (match Unix.read fd hdr 0 4 with
+  | 0 -> raise Closed
+  | n -> really_read fd hdr n (4 - n) (Frame_error "truncated frame header"));
+  let len =
+    (Char.code (Bytes.get hdr 0) lsl 24)
+    lor (Char.code (Bytes.get hdr 1) lsl 16)
+    lor (Char.code (Bytes.get hdr 2) lsl 8)
+    lor Char.code (Bytes.get hdr 3)
+  in
+  if len > max_frame then
+    raise (Frame_error (Printf.sprintf "frame of %d bytes exceeds limit" len));
+  let payload = Bytes.create len in
+  really_read fd payload 0 len (Frame_error "truncated frame payload");
+  Bytes.unsafe_to_string payload
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let error ~code message =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [ ("code", Json.String code); ("message", Json.String message) ] );
+    ]
+
+let request op fields = Json.Obj (("op", Json.String op) :: fields)
+
+let error_of response =
+  if Json.mem_bool "ok" response = Some true then None
+  else
+    match Json.member "error" response with
+    | Some e -> (
+        match (Json.mem_string "code" e, Json.mem_string "message" e) with
+        | Some code, Some msg -> Some (code, msg)
+        | _ -> Some ("unknown", Json.to_string e))
+    | None -> Some ("unknown", Json.to_string response)

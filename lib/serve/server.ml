@@ -1,0 +1,671 @@
+(* The analysis daemon: see server.mli. *)
+
+open Relational
+
+type job_state = Queued | Running | Done | Failed | Cancelled
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+let settled = function
+  | Done | Failed | Cancelled -> true
+  | Queued | Running -> false
+
+type entry = {
+  id : string;
+  spec : Dbre.Job_spec.t;
+  supervise : Supervise.t;
+  mutable state : job_state;
+  mutable cancel_requested : bool;
+  mutable events : Json.t list;  (* newest first *)
+  mutable next_seq : int;
+  mutable artifacts : (string * string) list;
+  mutable error : Json.t;  (* Null until a failure *)
+}
+
+type t = {
+  socket_path : string;
+  state_dir : string option;
+  max_jobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  jobs : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* submission order, newest first *)
+  mutable queue : string list;  (* pending ids, oldest first *)
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable shutdown_requested : bool;
+  mutable listener : Unix.file_descr option;
+  mutable acceptor : Thread.t option;
+  mutable workers : Thread.t list;
+  mutable handlers : Thread.t list;
+  mutable clients : Unix.file_descr list;
+}
+
+let socket t = t.socket_path
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: state_dir/<id>/{spec.json,status,error,artifacts/,ckpt/} *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* atomic publication: a crash never leaves a half-written status or
+   spec behind, only the previous value or the new one *)
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let mkdir_p dir =
+  let rec go dir =
+    if not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let job_dir t id =
+  Option.map (fun dir -> Filename.concat dir id) t.state_dir
+
+let persist_status t entry =
+  match job_dir t entry.id with
+  | None -> ()
+  | Some dir -> (
+      try
+        write_file_atomic
+          (Filename.concat dir "status")
+          (state_to_string entry.state);
+        if entry.error <> Json.Null then
+          write_file_atomic
+            (Filename.concat dir "error")
+            (Json.to_string entry.error);
+        if settled entry.state && entry.artifacts <> [] then begin
+          let adir = Filename.concat dir "artifacts" in
+          mkdir_p adir;
+          List.iter
+            (fun (name, text) ->
+              write_file_atomic (Filename.concat adir name) text)
+            entry.artifacts
+        end
+      with Sys_error _ -> ())
+
+let persist_spec t entry =
+  match job_dir t entry.id with
+  | None -> ()
+  | Some dir -> (
+      match Dbre.Job_spec.to_string entry.spec with
+      | Error _ -> ()  (* unserializable (Reader) jobs are session-only *)
+      | Ok text -> (
+          try
+            mkdir_p dir;
+            write_file_atomic (Filename.concat dir "spec.json") text;
+            persist_status t entry
+          with Sys_error _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let error_json (e : Error.t) =
+  Json.Obj
+    ([ ("code", Json.String (Error.code_to_string e.Error.code)) ]
+    @ (match e.Error.stage with
+      | Some s -> [ ("stage", Json.String (Error.stage_to_string s)) ]
+      | None -> [])
+    @ (match e.Error.relation with
+      | Some r -> [ ("relation", Json.String r) ]
+      | None -> [])
+    @ [ ("message", Json.String e.Error.message) ])
+
+(* caller holds the lock *)
+let push_event t entry fields =
+  let seq = entry.next_seq in
+  entry.next_seq <- seq + 1;
+  entry.events <- Json.Obj (("seq", Json.Int seq) :: fields) :: entry.events;
+  Condition.broadcast t.cond
+
+let job_event = function
+  | Dbre.Job.Loading rel ->
+      [ ("kind", Json.String "loading"); ("relation", Json.String rel) ]
+  | Dbre.Job.Loaded (rel, rows) ->
+      [
+        ("kind", Json.String "loaded");
+        ("relation", Json.String rel);
+        ("rows", Json.Int rows);
+      ]
+  | Dbre.Job.Stage ev ->
+      let phase stage name =
+        [
+          ("kind", Json.String "stage");
+          ("stage", Json.String (Error.stage_to_string stage));
+          ("phase", Json.String name);
+        ]
+      in
+      (match ev with
+      | Dbre.Pipeline.Stage_started s -> phase s "started"
+      | Dbre.Pipeline.Stage_restored s -> phase s "restored"
+      | Dbre.Pipeline.Stage_finished s -> phase s "finished"
+      | Dbre.Pipeline.Stage_failed (s, e) ->
+          phase s "failed" @ [ ("error", error_json e) ])
+
+let diagnostic_json (d : Dbre_lint.Diagnostic.t) =
+  Json.Obj
+    [
+      ("kind", Json.String "diagnostic");
+      ("code", Json.String d.Dbre_lint.Diagnostic.code);
+      ( "severity",
+        Json.String
+          (Dbre_lint.Diagnostic.severity_to_string
+             d.Dbre_lint.Diagnostic.severity) );
+      ("message", Json.String d.Dbre_lint.Diagnostic.message);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner threads                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let settle t entry state =
+  locked t (fun () ->
+      entry.state <- state;
+      push_event t entry
+        [
+          ("kind", Json.String "settled");
+          ("state", Json.String (state_to_string state));
+        ];
+      persist_status t entry;
+      Condition.broadcast t.cond)
+
+let run_entry t entry =
+  locked t (fun () ->
+      entry.state <- Running;
+      persist_status t entry);
+  (* the daemon always checkpoints into its state dir (unless the spec
+     pins its own directory) and always offers resume: a fresh job
+     restores nothing, a job re-adopted after a crash restores every
+     stage its previous incarnation completed *)
+  let spec =
+    match (job_dir t entry.id, entry.spec.Dbre.Job_spec.checkpoint_dir) with
+    | Some dir, None ->
+        {
+          entry.spec with
+          Dbre.Job_spec.checkpoint_dir = Some (Filename.concat dir "ckpt");
+          resume = true;
+        }
+    | _ -> entry.spec
+  in
+  let progress ev = locked t (fun () -> push_event t entry (job_event ev)) in
+  match Dbre.Job.run ~progress ~supervise:entry.supervise spec with
+  | Ok result ->
+      entry.artifacts <- Dbre.Report.artifacts result;
+      settle t entry (if entry.cancel_requested then Cancelled else Done)
+  | Error partial ->
+      entry.error <- error_json partial.Dbre.Pipeline.p_error;
+      settle t entry (if entry.cancel_requested then Cancelled else Failed)
+  | exception exn ->
+      entry.error <-
+        Json.Obj
+          [
+            ("code", Json.String "crashed");
+            ("message", Json.String (Printexc.to_string exn));
+          ];
+      settle t entry Failed
+
+let rec worker t =
+  let job =
+    locked t (fun () ->
+        let rec wait () =
+          if t.stopping then None
+          else
+            match t.queue with
+            | id :: rest ->
+                t.queue <- rest;
+                Hashtbl.find_opt t.jobs id
+            | [] ->
+                Condition.wait t.cond t.mutex;
+                wait ()
+        in
+        wait ())
+  in
+  match job with
+  | None -> ()
+  | Some entry ->
+      (* a job cancelled while still queued settles without running *)
+      if entry.cancel_requested then settle t entry Cancelled
+      else run_entry t entry;
+      worker t
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_id t =
+  let id = Printf.sprintf "job-%06d" t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let enqueue t entry =
+  Hashtbl.replace t.jobs entry.id entry;
+  t.order <- entry.id :: t.order;
+  t.queue <- t.queue @ [ entry.id ];
+  Condition.broadcast t.cond
+
+let submit t spec_json =
+  match Dbre.Job_spec.of_json spec_json with
+  | Error msg -> Protocol.error ~code:"spec-invalid" msg
+  | Ok spec ->
+      let diags = Dbre_lint.Rules_verify.check_job spec in
+      locked t (fun () ->
+          if t.stopping || t.shutdown_requested then
+            Protocol.error ~code:"shutting-down"
+              "the server is shutting down and accepts no new jobs"
+          else begin
+            let entry =
+              {
+                id = fresh_id t;
+                spec;
+                supervise = Dbre.Job_spec.supervisor spec;
+                state = Queued;
+                cancel_requested = false;
+                events = [];
+                next_seq = 0;
+                artifacts = [];
+                error = Json.Null;
+              }
+            in
+            (* surface the source/schema lint before any work happens:
+               in the event stream and in the submit response *)
+            List.iter
+              (fun d ->
+                match diagnostic_json d with
+                | Json.Obj fields -> push_event t entry fields
+                | _ -> ())
+              diags;
+            persist_spec t entry;
+            enqueue t entry;
+            Protocol.ok
+              [
+                ("id", Json.String entry.id);
+                ("diagnostics", Json.List (List.map diagnostic_json diags));
+              ]
+          end)
+
+let find t id =
+  match id with
+  | None -> Error (Protocol.error ~code:"bad-request" "missing \"id\"")
+  | Some id -> (
+      match Hashtbl.find_opt t.jobs id with
+      | Some e -> Ok e
+      | None -> Error (Protocol.error ~code:"unknown-job" id))
+
+let status_fields entry =
+  [
+    ("id", Json.String entry.id);
+    ("label", Json.opt_string entry.spec.Dbre.Job_spec.label);
+    ("state", Json.String (state_to_string entry.state));
+    ("events", Json.Int entry.next_seq);
+    ("error", entry.error);
+  ]
+
+let events_since entry since =
+  List.filter
+    (fun ev ->
+      match Json.mem_int "seq" ev with Some s -> s >= since | None -> false)
+    (List.rev entry.events)
+
+let events_response entry since =
+  Protocol.ok
+    [
+      ("events", Json.List (events_since entry since));
+      ("next", Json.Int entry.next_seq);
+      ("settled", Json.Bool (settled entry.state));
+    ]
+
+let handle t request =
+  match Json.mem_string "op" request with
+  | None ->
+      Protocol.error ~code:"bad-request" "request object has no \"op\" field"
+  | Some op -> (
+      let id = Json.mem_string "id" request in
+      match op with
+      | "ping" -> Protocol.ok [ ("pong", Json.Bool true) ]
+      | "submit" -> (
+          match Json.member "spec" request with
+          | None -> Protocol.error ~code:"bad-request" "submit needs \"spec\""
+          | Some spec -> submit t spec)
+      | "status" ->
+          locked t (fun () ->
+              match find t id with
+              | Error e -> e
+              | Ok entry -> Protocol.ok (status_fields entry))
+      | "events" ->
+          let since =
+            Option.value ~default:0 (Json.mem_int "since" request)
+          in
+          locked t (fun () ->
+              match find t id with
+              | Error e -> e
+              | Ok entry -> events_response entry since)
+      | "watch" ->
+          let since =
+            Option.value ~default:0 (Json.mem_int "since" request)
+          in
+          locked t (fun () ->
+              match find t id with
+              | Error e -> e
+              | Ok entry ->
+                  let rec wait () =
+                    if
+                      entry.next_seq > since
+                      || settled entry.state
+                      || t.stopping
+                    then events_response entry since
+                    else begin
+                      Condition.wait t.cond t.mutex;
+                      wait ()
+                    end
+                  in
+                  wait ())
+      | "cancel" ->
+          locked t (fun () ->
+              match find t id with
+              | Error e -> e
+              | Ok entry ->
+                  if not (settled entry.state) then begin
+                    entry.cancel_requested <- true;
+                    Supervise.cancel entry.supervise;
+                    (* a queued job settles right here; a running one
+                       settles when its runner observes the trip *)
+                    if entry.state = Queued then begin
+                      t.queue <-
+                        List.filter (fun i -> i <> entry.id) t.queue;
+                      entry.state <- Cancelled;
+                      push_event t entry
+                        [
+                          ("kind", Json.String "settled");
+                          ("state", Json.String "cancelled");
+                        ];
+                      persist_status t entry;
+                      Condition.broadcast t.cond
+                    end
+                  end;
+                  Protocol.ok
+                    [ ("state", Json.String (state_to_string entry.state)) ])
+      | "artifacts" ->
+          locked t (fun () ->
+              match find t id with
+              | Error e -> e
+              | Ok entry ->
+                  if not (settled entry.state) then
+                    Protocol.error ~code:"not-settled"
+                      (Printf.sprintf "job %s is %s" entry.id
+                         (state_to_string entry.state))
+                  else
+                    Protocol.ok
+                      [
+                        ( "artifacts",
+                          Json.Obj
+                            (List.map
+                               (fun (name, text) -> (name, Json.String text))
+                               entry.artifacts) );
+                        ("state", Json.String (state_to_string entry.state));
+                        ("error", entry.error);
+                      ])
+      | "jobs" ->
+          locked t (fun () ->
+              Protocol.ok
+                [
+                  ( "jobs",
+                    Json.List
+                      (List.rev_map
+                         (fun id ->
+                           match Hashtbl.find_opt t.jobs id with
+                           | Some e -> Json.Obj (status_fields e)
+                           | None -> Json.Null)
+                         t.order) );
+                ])
+      | "shutdown" ->
+          locked t (fun () ->
+              t.shutdown_requested <- true;
+              Condition.broadcast t.cond);
+          Protocol.ok []
+      | op -> Protocol.error ~code:"unknown-op" op)
+
+let handle_connection t fd =
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | exception Protocol.Closed -> ()
+    | exception Protocol.Frame_error msg ->
+        (* framing is broken: report once and drop the connection (we
+           can no longer find the next frame boundary) *)
+        (try Protocol.write_frame fd (Protocol.error ~code:"bad-frame" msg)
+         with _ -> ())
+    | exception Unix.Unix_error _ -> ()
+    | payload ->
+        let response =
+          match Json.of_string payload with
+          | exception Json.Parse_error msg ->
+              Protocol.error ~code:"bad-json" msg
+          | Json.Obj _ as request -> handle t request
+          | _ ->
+              Protocol.error ~code:"bad-request"
+                "request frame must be a JSON object"
+        in
+        (match Protocol.write_frame fd response with
+        | () -> loop ()
+        | exception _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      locked t (fun () ->
+          t.clients <- List.filter (fun c -> c <> fd) t.clients))
+    loop
+
+let acceptor t listener =
+  let rec loop () =
+    match Unix.accept listener with
+    | exception Unix.Unix_error _ -> ()  (* listener closed: stopping *)
+    | fd, _ ->
+        let continue =
+          locked t (fun () ->
+              if t.stopping then begin
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                false
+              end
+              else begin
+                t.clients <- fd :: t.clients;
+                t.handlers <-
+                  Thread.create (handle_connection t) fd :: t.handlers;
+                true
+              end)
+        in
+        if continue then loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* State-dir adoption                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let adopt_state t =
+  match t.state_dir with
+  | None -> ()
+  | Some dir when not (Sys.file_exists dir) -> mkdir_p dir
+  | Some dir ->
+      let ids =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun id ->
+               String.length id > 4
+               && String.sub id 0 4 = "job-"
+               && Sys.file_exists
+                    (Filename.concat (Filename.concat dir id) "spec.json"))
+        |> List.sort String.compare
+      in
+      List.iter
+        (fun id ->
+          let jdir = Filename.concat dir id in
+          match Dbre.Job_spec.of_string (read_file (Filename.concat jdir "spec.json")) with
+          | exception Sys_error _ -> ()
+          | Error _ -> ()
+          | Ok spec ->
+              (* keep the id counter ahead of every adopted job *)
+              (match
+                 int_of_string_opt (String.sub id 4 (String.length id - 4))
+               with
+              | Some n when n >= t.next_id -> t.next_id <- n + 1
+              | _ -> ());
+              let status =
+                match read_file (Filename.concat jdir "status") with
+                | s -> s
+                | exception Sys_error _ -> "queued"
+              in
+              let state =
+                match status with
+                | "done" -> Done
+                | "failed" -> Failed
+                | "cancelled" -> Cancelled
+                | _ -> Queued  (* queued or running: the crash lost it *)
+              in
+              let artifacts =
+                let adir = Filename.concat jdir "artifacts" in
+                if settled state && Sys.file_exists adir then
+                  Sys.readdir adir |> Array.to_list |> List.sort compare
+                  |> List.filter_map (fun name ->
+                         match read_file (Filename.concat adir name) with
+                         | text -> Some (name, text)
+                         | exception Sys_error _ -> None)
+                else []
+              in
+              let error =
+                let epath = Filename.concat jdir "error" in
+                if Sys.file_exists epath then
+                  match Json.of_string (read_file epath) with
+                  | j -> j
+                  | exception _ -> Json.Null
+                else Json.Null
+              in
+              let entry =
+                {
+                  id;
+                  spec;
+                  supervise = Dbre.Job_spec.supervisor spec;
+                  state;
+                  cancel_requested = false;
+                  events = [];
+                  next_seq = 0;
+                  artifacts;
+                  error;
+                }
+              in
+              Hashtbl.replace t.jobs id entry;
+              t.order <- id :: t.order;
+              if state = Queued then begin
+                entry.state <- Queued;
+                persist_status t entry;
+                t.queue <- t.queue @ [ id ]
+              end)
+        ids
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(max_jobs = 2) ?state_dir ~socket () =
+  {
+    socket_path = socket;
+    state_dir;
+    max_jobs;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    jobs = Hashtbl.create 16;
+    order = [];
+    queue = [];
+    next_id = 1;
+    stopping = false;
+    shutdown_requested = false;
+    listener = None;
+    acceptor = None;
+    workers = [];
+    handlers = [];
+    clients = [];
+  }
+
+let start t =
+  (* a peer hanging up mid-reply must surface as EPIPE, not kill the
+     daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  adopt_state t;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listener (Unix.ADDR_UNIX t.socket_path);
+  Unix.listen listener 16;
+  t.listener <- Some listener;
+  t.acceptor <- Some (Thread.create (acceptor t) listener);
+  t.workers <-
+    List.init t.max_jobs (fun _ -> Thread.create worker t)
+
+let stop t =
+  let already =
+    locked t (fun () ->
+        let was = t.stopping in
+        t.stopping <- true;
+        Condition.broadcast t.cond;
+        was)
+  in
+  if not already then begin
+    (* closing a listener does not reliably wake a thread blocked in
+       accept(2): poke it with a throwaway connection instead — the
+       acceptor sees [stopping] and exits *)
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.socket_path)
+        with Unix.Unix_error _ -> ());
+       try Unix.close fd with Unix.Unix_error _ -> ()
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.acceptor;
+    t.acceptor <- None;
+    (match t.listener with
+    | Some fd ->
+        t.listener <- None;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (* unblock handler threads parked in read *)
+    locked t (fun () ->
+        List.iter
+          (fun fd ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          t.clients);
+    List.iter Thread.join t.workers;
+    t.workers <- [];
+    let handlers = locked t (fun () -> t.handlers) in
+    List.iter Thread.join handlers;
+    t.handlers <- [];
+    try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+  end
+
+let run t =
+  start t;
+  locked t (fun () ->
+      while not (t.shutdown_requested || t.stopping) do
+        Condition.wait t.cond t.mutex
+      done);
+  stop t

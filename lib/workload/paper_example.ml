@@ -266,9 +266,9 @@ let config () =
 let run () =
   let db = database () in
   Dbre.Pipeline.run ~config:(config ()) db
-    (Dbre.Pipeline.Equijoins (equijoins ()))
+    (Dbre.Job_spec.Equijoins (equijoins ()))
 
 let run_from_programs () =
   let db = database () in
   Dbre.Pipeline.run ~config:(config ()) db
-    (Dbre.Pipeline.Programs (programs ()))
+    (Dbre.Job_spec.Programs (programs ()))

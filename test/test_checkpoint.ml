@@ -28,7 +28,7 @@ let run_hospital ?checkpoint_dir ?resume_from () =
   let s = Workload.Scenarios.hospital in
   Pipeline.run ~config:(hospital_config ()) ?checkpoint_dir ?resume_from
     (s.Workload.Scenarios.database ())
-    (Pipeline.Programs s.Workload.Scenarios.programs)
+    (Job_spec.Programs s.Workload.Scenarios.programs)
 
 let all_stages =
   [
@@ -79,7 +79,7 @@ let test_corrupt_checkpoint_recomputed () =
   let g = generate () in
   let baseline =
     Pipeline.run ~checkpoint_dir:dir g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   (* mangle the RHS-Discovery artifact: resume must recompute it *)
   Out_channel.with_open_bin (Checkpoint.path ~dir Checkpoint.Rhs) (fun oc ->
@@ -87,7 +87,7 @@ let test_corrupt_checkpoint_recomputed () =
   let g2 = generate () in
   let resumed =
     Pipeline.run ~resume_from:dir g2.Workload.Gen_schema.db
-      (Pipeline.Equijoins g2.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g2.Workload.Gen_schema.equijoins)
   in
   Alcotest.(check bool) "same INDs" true
     (baseline.Pipeline.ind_result.Ind_discovery.inds

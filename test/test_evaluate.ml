@@ -66,7 +66,7 @@ let test_clean_pipeline_scores_perfectly () =
   let g = Gen_schema.generate Gen_schema.default_spec in
   let r =
     Dbre.Pipeline.run g.Gen_schema.db
-      (Dbre.Pipeline.Equijoins g.Gen_schema.equijoins)
+      (Dbre.Job_spec.Equijoins g.Gen_schema.equijoins)
   in
   let im =
     Evaluate.ind_metrics ~truth:g.Gen_schema.truth.Gen_schema.planted_inds

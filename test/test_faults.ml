@@ -76,7 +76,7 @@ let fault_class_prop name mk_fault =
       let db, injected, reports = inject_all rng fault g in
       match
         Pipeline.run_checked ~config:lenient_config ~quarantine:reports db
-          (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+          (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
       with
       | Ok r ->
           r.Pipeline.quarantine == reports
@@ -141,7 +141,7 @@ let payroll_decisions =
      ignore
        (Pipeline.run ~config
           (s.Workload.Scenarios.database ())
-          (Pipeline.Programs s.Workload.Scenarios.programs));
+          (Job_spec.Programs s.Workload.Scenarios.programs));
      !n)
 
 let test_oracle_failure_first_decision () =
@@ -157,7 +157,7 @@ let test_oracle_failure_first_decision () =
   match
     Pipeline.run_checked ~config
       (s.Workload.Scenarios.database ())
-      (Pipeline.Programs s.Workload.Scenarios.programs)
+      (Job_spec.Programs s.Workload.Scenarios.programs)
   with
   | Ok _ -> Alcotest.fail "expected a partial result"
   | Error p ->
@@ -222,7 +222,7 @@ let suite =
         match
           Pipeline.run_checked ~config
             (s.Workload.Scenarios.database ())
-            (Pipeline.Programs s.Workload.Scenarios.programs)
+            (Job_spec.Programs s.Workload.Scenarios.programs)
         with
         | Ok _ -> every > Lazy.force payroll_decisions
         | Error p ->

@@ -15,7 +15,7 @@ let run () =
       Pipeline.oracle = s.Workload.Scenarios.oracle ();
     }
   in
-  Pipeline.run ~config db (Pipeline.Programs s.Workload.Scenarios.programs)
+  Pipeline.run ~config db (Job_spec.Programs s.Workload.Scenarios.programs)
 
 let result = lazy (run ())
 
@@ -135,7 +135,7 @@ let test_migration_roundtrip () =
       Pipeline.oracle = s.Workload.Scenarios.oracle ();
     }
   in
-  let r = Pipeline.run ~config db (Pipeline.Programs s.Workload.Scenarios.programs) in
+  let r = Pipeline.run ~config db (Job_spec.Programs s.Workload.Scenarios.programs) in
   let sql = Migration.script ~original r in
   let fresh = s.Workload.Scenarios.database () in
   Sqlx.Exec.exec_script fresh sql;

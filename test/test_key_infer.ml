@@ -117,7 +117,7 @@ let test_pipeline_on_undeclared_keys () =
           Dbre.Pipeline.oracle = Workload.Paper_example.oracle ();
         }
       stripped
-      (Dbre.Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+      (Dbre.Job_spec.Equijoins (Workload.Paper_example.equijoins ()))
   in
   Alcotest.(check int) "six INDs as with declared keys" 6
     (List.length r.Dbre.Pipeline.ind_result.Dbre.Ind_discovery.inds)

@@ -215,7 +215,7 @@ let test_clean_corpus () =
       in
       match
         Dbre.Pipeline.run_checked ~config db
-          (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+          (Dbre.Job_spec.Programs s.Workload.Scenarios.programs)
       with
       | Error _ -> Alcotest.failf "%s pipeline failed" s.Workload.Scenarios.name
       | Ok result ->

@@ -131,7 +131,7 @@ let test_paper_roundtrip () =
     roundtrip
       (Workload.Paper_example.database ())
       (Workload.Paper_example.oracle ())
-      (Dbre.Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+      (Dbre.Job_spec.Equijoins (Workload.Paper_example.equijoins ()))
       (Workload.Paper_example.database ())
   in
   Alcotest.(check bool) "script nonempty" true (String.length sql > 500);
@@ -147,7 +147,7 @@ let test_payroll_roundtrip () =
     roundtrip
       (s.Workload.Scenarios.database ())
       (s.Workload.Scenarios.oracle ())
-      (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+      (Dbre.Job_spec.Programs s.Workload.Scenarios.programs)
       (s.Workload.Scenarios.database ())
   in
   Alcotest.(check bool) "extensionally equal" true
@@ -158,7 +158,7 @@ let test_synthetic_roundtrip () =
   let w = g () in
   let _, expected, fresh =
     roundtrip w.Workload.Gen_schema.db Dbre.Oracle.automatic
-      (Dbre.Pipeline.Equijoins w.Workload.Gen_schema.equijoins)
+      (Dbre.Job_spec.Equijoins w.Workload.Gen_schema.equijoins)
       (g ()).Workload.Gen_schema.db
   in
   Alcotest.(check bool) "extensionally equal" true
@@ -176,7 +176,7 @@ let test_migration_fks_validate () =
           Dbre.Pipeline.oracle = Workload.Paper_example.oracle ();
         }
       db
-      (Dbre.Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+      (Dbre.Job_spec.Equijoins (Workload.Paper_example.equijoins ()))
   in
   let sql = Dbre.Migration.script ~original result in
   let fresh = Workload.Paper_example.database () in

@@ -92,7 +92,7 @@ let test_sql_scripts_input () =
   let db = Workload.Paper_example.database () in
   let r =
     Pipeline.run db
-      (Pipeline.Sql_scripts
+      (Job_spec.Sql_scripts
          [ "SELECT name FROM Person, HEmployee WHERE HEmployee.no = Person.id;" ])
   in
   Alcotest.(check int) "one equijoin" 1 (List.length r.Pipeline.equijoins);
@@ -112,7 +112,7 @@ let test_partition_engine_agrees () =
       }
     in
     (Pipeline.run ~config db
-       (Pipeline.Equijoins (Workload.Paper_example.equijoins ())))
+       (Job_spec.Equijoins (Workload.Paper_example.equijoins ())))
       .Pipeline.rhs_result.Rhs_discovery.fds
   in
   check_sorted_fds "engines agree on F" (run Dbre.Engine.naive)
@@ -132,7 +132,7 @@ let test_no_migration_config () =
   in
   let r =
     Pipeline.run ~config db
-      (Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+      (Job_spec.Equijoins (Workload.Paper_example.equijoins ()))
   in
   Alcotest.(check bool) "no migrated db" true
     (r.Pipeline.restruct_result.Restruct.database = None)
@@ -143,7 +143,7 @@ let test_synthetic_recovery () =
   let g = Workload.Gen_schema.generate Workload.Gen_schema.default_spec in
   let r =
     Pipeline.run g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   check_sorted_inds "all planted INDs recovered"
     g.Workload.Gen_schema.truth.Workload.Gen_schema.planted_inds
@@ -156,7 +156,7 @@ let test_synthetic_from_programs () =
   let g = Workload.Gen_schema.generate Workload.Gen_schema.default_spec in
   let r =
     Pipeline.run g.Workload.Gen_schema.db
-      (Pipeline.Programs g.Workload.Gen_schema.programs)
+      (Job_spec.Programs g.Workload.Gen_schema.programs)
   in
   check_sorted_inds "program scan finds the same INDs"
     g.Workload.Gen_schema.truth.Workload.Gen_schema.planted_inds
@@ -171,7 +171,7 @@ let test_payroll_scenario () =
       Pipeline.oracle = s.Workload.Scenarios.oracle ();
     }
   in
-  let r = Pipeline.run ~config db (Pipeline.Programs s.Workload.Scenarios.programs) in
+  let r = Pipeline.run ~config db (Job_spec.Programs s.Workload.Scenarios.programs) in
   (* headline structures *)
   let schema = r.Pipeline.restruct_result.Restruct.schema in
   List.iter

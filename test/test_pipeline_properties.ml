@@ -39,7 +39,7 @@ let run_pipeline spec =
   let g = Workload.Gen_schema.generate spec in
   let r =
     Dbre.Pipeline.run g.Workload.Gen_schema.db
-      (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   (g, r)
 
@@ -107,7 +107,7 @@ let suite =
         let g = Workload.Gen_schema.generate spec in
         let run joins =
           (Dbre.Pipeline.run g.Workload.Gen_schema.db
-             (Dbre.Pipeline.Equijoins joins))
+             (Dbre.Job_spec.Equijoins joins))
             .Dbre.Pipeline.ind_result.Dbre.Ind_discovery.inds
           |> List.sort Ind.compare
         in
@@ -121,7 +121,7 @@ let suite =
         let original = Database.schema db in
         let r =
           Dbre.Pipeline.run db
-            (Dbre.Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+            (Dbre.Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
         in
         let sql = Dbre.Migration.script ~original r in
         let fresh = (Workload.Gen_schema.generate spec).Workload.Gen_schema.db in

@@ -16,7 +16,7 @@ let setup () =
           Pipeline.oracle = Workload.Paper_example.oracle ();
         }
       db
-      (Pipeline.Equijoins (Workload.Paper_example.equijoins ()))
+      (Job_spec.Equijoins (Workload.Paper_example.equijoins ()))
   in
   let plan = Rewrite.plan result in
   let migrated = Option.get result.Pipeline.restruct_result.Restruct.database in

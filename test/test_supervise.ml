@@ -182,7 +182,7 @@ let run_with_fuel ~domains ~fuel =
     Pipeline.run_checked ~config
       ~supervise:(Supervise.create ~fuel ())
       g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   with
   | Ok r -> r
   | Error p ->
@@ -193,7 +193,7 @@ let test_cancellation_prefix () =
   let full =
     let g = generate () in
     Pipeline.run g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   let rng = Workload.Rng.create 0x5eedL in
   let fuels = List.init 3 (fun _ -> 1 + Workload.Rng.int rng 30) in
@@ -259,7 +259,7 @@ let test_partial_annotated () =
   match
     Pipeline.run_checked ~config ~supervise
       (s.Workload.Scenarios.database ())
-      (Pipeline.Programs s.Workload.Scenarios.programs)
+      (Job_spec.Programs s.Workload.Scenarios.programs)
   with
   | Error p ->
       Alcotest.failf "partial-policy run failed: %s"
@@ -291,7 +291,7 @@ let test_fail_policy () =
     Pipeline.run_checked ~config
       ~supervise:(Supervise.create ~fuel:1 ())
       g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   with
   | Ok _ -> Alcotest.fail "`Fail policy must turn a trip into a stage error"
   | Error p ->
@@ -305,7 +305,7 @@ let test_partial_resume_identity () =
   let full =
     let g = generate () in
     Pipeline.run g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   let partial =
     let g = generate () in
@@ -313,7 +313,7 @@ let test_partial_resume_identity () =
       Pipeline.run_checked
         ~supervise:(Supervise.create ~fuel:12 ())
         ~checkpoint_dir:dir g.Workload.Gen_schema.db
-        (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+        (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
     with
     | Ok r -> r
     | Error p ->
@@ -326,7 +326,7 @@ let test_partial_resume_identity () =
   let resumed =
     let g = generate () in
     Pipeline.run ~resume_from:dir g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   Alcotest.(check bool) "resumed run is complete" true
     (resumed.Pipeline.ind_result.Ind_discovery.unverified = []
@@ -357,7 +357,7 @@ let test_checksum_tamper () =
   let baseline =
     let g = generate () in
     Pipeline.run ~checkpoint_dir:dir g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   Alcotest.(check bool) "baseline elicited FDs" true
     (baseline.Pipeline.rhs_result.Rhs_discovery.fds <> []);
@@ -390,7 +390,7 @@ let test_checksum_tamper () =
   let resumed =
     let g = generate () in
     Pipeline.run ~resume_from:dir g.Workload.Gen_schema.db
-      (Pipeline.Equijoins g.Workload.Gen_schema.equijoins)
+      (Job_spec.Equijoins g.Workload.Gen_schema.equijoins)
   in
   Alcotest.(check bool) "recomputed FDs match" true
     (baseline.Pipeline.rhs_result.Rhs_discovery.fds

@@ -151,7 +151,7 @@ let test_hospital_roundtrip_names () =
     }
   in
   let result =
-    Dbre.Pipeline.run ~config db (Dbre.Pipeline.Programs s.Workload.Scenarios.programs)
+    Dbre.Pipeline.run ~config db (Dbre.Job_spec.Programs s.Workload.Scenarios.programs)
   in
   let restructured = result.Dbre.Pipeline.restruct_result.Dbre.Restruct.schema in
   let forward =

@@ -143,7 +143,7 @@ let test_corruption_to_nei_pipeline () =
     }
   in
   let r =
-    Dbre.Pipeline.run ~config db (Dbre.Pipeline.Equijoins g.Gen_schema.equijoins)
+    Dbre.Pipeline.run ~config db (Dbre.Job_spec.Equijoins g.Gen_schema.equijoins)
   in
   Alcotest.(check bool) "forced IND recovered despite corruption" true
     (List.exists (Ind.equal target) r.Dbre.Pipeline.ind_result.Dbre.Ind_discovery.inds)
@@ -169,7 +169,7 @@ let test_payloadless_refs_become_hidden_objects () =
     (List.length g.Gen_schema.truth.Gen_schema.planted_fds);
   let r =
     Dbre.Pipeline.run g.Gen_schema.db
-      (Dbre.Pipeline.Equijoins g.Gen_schema.equijoins)
+      (Dbre.Job_spec.Equijoins g.Gen_schema.equijoins)
   in
   Alcotest.(check int) "two hidden objects" 2
     (List.length r.Dbre.Pipeline.rhs_result.Dbre.Rhs_discovery.hidden);
