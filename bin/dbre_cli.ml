@@ -261,6 +261,15 @@ let programs_arg =
   let doc = "Directory of application-program sources to scan." in
   Arg.(required & opt (some dir) None & info [ "programs" ] ~docv:"DIR" ~doc)
 
+let flow_arg =
+  let doc =
+    "Run the static dataflow analysis over each application program: \
+     SELECT INTO / FETCH targets define host variables, later statements \
+     using them become inter-statement equi-join evidence (and L109-L112 \
+     diagnostics under --lint)."
+  in
+  Arg.(value & flag & info [ "flow" ] ~doc)
+
 let lint_hooks_arg =
   let doc =
     "Install the linter as pipeline pre/post hooks: workload diagnostics \
@@ -329,7 +338,7 @@ let spec_of_flags ?label ~ddl ~data ~programs ~oracle ~engine ~deadline
 
 let analyze_cmd =
   let run ddl data programs oracle engine deadline max_heap_mb on_exhausted
-      lenient lint checkpoint_dir resume dot markdown =
+      lenient lint flow checkpoint_dir resume dot markdown =
     match
       spec_of_flags ~ddl ~data:(Some data) ~programs:(Some programs) ~oracle
         ~engine ~deadline ~max_heap_mb ~on_exhausted ~lenient ~checkpoint_dir
@@ -340,7 +349,13 @@ let analyze_cmd =
         1
     | Ok (spec, oracle) -> (
         handle_errors ~hint:(not lenient) @@ fun () ->
-        match Dbre.Job.run ?oracle ~configure:(with_lint_hooks lint) spec with
+        match
+          Dbre.Job.run ?oracle
+            ~configure:(fun c ->
+              with_lint_hooks lint
+                { c with Dbre.Pipeline.workload_flow = flow })
+            spec
+        with
         | Ok result ->
             print_quarantine result.Dbre.Pipeline.quarantine;
             report_result ?dot ?markdown result;
@@ -362,7 +377,8 @@ let analyze_cmd =
     Term.(
       const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ engine_arg
       $ deadline_arg $ max_heap_arg $ on_exhausted_arg $ lenient_arg
-      $ lint_hooks_arg $ checkpoint_arg $ resume_arg $ dot_arg $ markdown_arg)
+      $ lint_hooks_arg $ flow_arg $ checkpoint_arg $ resume_arg $ dot_arg
+      $ markdown_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inds                                                                 *)

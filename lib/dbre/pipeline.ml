@@ -24,6 +24,7 @@ type config = {
   pre_hook : (Database.t -> input -> unit) option;
   post_hook : (result -> unit) option;
   progress : (stage_event -> unit) option;
+  workload_flow : bool;
 }
 
 and result = {
@@ -46,6 +47,7 @@ let default_config =
     pre_hook = None;
     post_hook = None;
     progress = None;
+    workload_flow = false;
   }
 
 type partial = {
@@ -74,19 +76,43 @@ let load_source ?supervise config rel source =
 let load_extension ?supervise config rel csv =
   load_source ?supervise config rel (Source.csv_inline csv)
 
-let extract_equijoins db = function
+let extract_equijoins ?(flow = false) db = function
   | Job_spec.Equijoins q -> q
   | Job_spec.Programs sources ->
       let extraction = Sqlx.Embedded.scan_files sources in
-      Sqlx.Equijoin.dedupe
-        (List.concat_map
-           (Sqlx.Equijoin.of_statement (Database.schema db))
-           extraction.Sqlx.Embedded.statements)
+      let per_statement =
+        List.concat_map
+          (Sqlx.Equijoin.of_statement (Database.schema db))
+          extraction.Sqlx.Embedded.statements
+      in
+      let flow_joins =
+        if not flow then []
+        else
+          (* host variables are program-local: each program is analyzed
+             on its own, never the concatenated statement stream *)
+          List.concat_map
+            (Sqlx.Dataflow.joins_of_program (Database.schema db))
+            sources
+      in
+      (* per-statement evidence first, so a flow-off run is byte-for-byte
+         the historical extraction *)
+      Sqlx.Equijoin.dedupe (per_statement @ flow_joins)
   | Job_spec.Sql_scripts scripts ->
-      Sqlx.Equijoin.dedupe
-        (List.concat_map
-           (Sqlx.Equijoin.of_script (Database.schema db))
-           scripts)
+      let per_statement =
+        List.concat_map (Sqlx.Equijoin.of_script (Database.schema db)) scripts
+      in
+      let flow_joins =
+        if not flow then []
+        else
+          List.concat_map
+            (fun script ->
+              match Sqlx.Parser.parse_script script with
+              | stmts ->
+                  Sqlx.Dataflow.joins_of_statements (Database.schema db) stmts
+              | exception (Sqlx.Parser.Error _ | Sqlx.Lexer.Error _) -> [])
+            scripts
+      in
+      Sqlx.Equijoin.dedupe (per_statement @ flow_joins)
 
 (* Run one stage under the typed-error boundary: any escaping exception
    becomes a structured [Error.t] attributed to the stage. *)
@@ -188,7 +214,7 @@ let run_checked ?(config = default_config) ?supervise ?(quarantine = [])
   match
     stage_run Error.Extract no_ckpt no_write (fun () ->
         (match config.pre_hook with Some h -> h db input | None -> ());
-        extract_equijoins db input)
+        extract_equijoins ~flow:config.workload_flow db input)
   with
   | Stdlib.Error e -> Stdlib.Error (partial e)
   | Ok equijoins -> (

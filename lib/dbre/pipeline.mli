@@ -66,6 +66,14 @@ type config = {
       (** observability tap: called synchronously as each stage starts
           and settles. Exceptions it raises are swallowed — a listener
           can never change the run's outcome. *)
+  workload_flow : bool;
+      (** when true, the [Extract] stage additionally runs the static
+          dataflow analysis ({!Sqlx.Dataflow}) over each program (and
+          each script) of the workload, recovering equi-joins navigated
+          through host variables across statements. Off by default:
+          with it off, every artifact is byte-identical to a historical
+          run. Dataflow joins are appended after the per-statement
+          evidence, then the union is deduplicated. *)
 }
 
 and result = {
@@ -84,7 +92,7 @@ and result = {
 val default_config : config
 (** {!Oracle.automatic}, {!Engine.default} (memoized columnar,
     sequential), data migration on, strict ([`Fail]) tuple handling,
-    no hooks, no progress tap. *)
+    no hooks, no progress tap, dataflow analysis off. *)
 
 type partial = {
   p_equijoins : Sqlx.Equijoin.t list option;

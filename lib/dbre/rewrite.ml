@@ -266,7 +266,14 @@ let statement plan (stmt : Ast.statement) =
   | Ast.Query q -> Ast.Query (rewrite_query plan q)
   | Ast.Insert_select (rel, cols, q) ->
       Ast.Insert_select (rel, cols, rewrite_query plan q)
-  | Ast.Create _ | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Alter _ ->
+  | Ast.Select_into (targets, q) ->
+      Ast.Select_into (targets, rewrite_query plan q)
+  | Ast.Declare_cursor (c, q, sp) ->
+      Ast.Declare_cursor (c, rewrite_query plan q, sp)
+  | Ast.Create_view cv ->
+      Ast.Create_view { cv with Ast.cv_query = rewrite_query plan cv.Ast.cv_query }
+  | Ast.Create _ | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Alter _
+  | Ast.Open_cursor _ | Ast.Fetch _ | Ast.Close_cursor _ ->
       stmt
 
 let sql plan text =

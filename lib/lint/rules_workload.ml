@@ -331,7 +331,8 @@ let l105 ctx stmt =
 
 let l107 ctx stmt =
   match stmt with
-  | Ast.Query _ | Ast.Update _ | Ast.Delete _ | Ast.Insert_select _ ->
+  | Ast.Query _ | Ast.Update _ | Ast.Delete _ | Ast.Insert_select _
+  | Ast.Select_into _ | Ast.Declare_cursor _ | Ast.Create_view _ ->
       if
         List.length ctx.rels_seen >= 2
         && Equijoin.of_statement ctx.schema stmt = []
@@ -342,7 +343,87 @@ let l107 ctx stmt =
              (Printf.sprintf
                 "statement navigates %s but contributes no equi-join to Q"
                 (String.concat ", " (List.rev ctx.rels_seen))))
-  | Ast.Create _ | Ast.Insert _ | Ast.Alter _ -> ()
+  | Ast.Create _ | Ast.Insert _ | Ast.Alter _ | Ast.Open_cursor _
+  | Ast.Fetch _ | Ast.Close_cursor _ ->
+      ()
+
+(* ---------------------------------------------------------------- *)
+(* Dataflow rules: L109 - L112                                        *)
+(* ---------------------------------------------------------------- *)
+
+let dataflow_rules ?source_name schema (stmts : Ast.statement list) =
+  let df = Dataflow.analyze schema stmts in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun (u : Dataflow.use) ->
+      add
+        (diag ?source_name ~span:u.Dataflow.u_span ~code:"L109"
+           Diagnostic.Warning
+           (Printf.sprintf
+              "host variable %s is used before any SQL statement defines \
+               it (its SELECT INTO/FETCH appears later): the value read \
+               here is whatever the host program left in it"
+              u.Dataflow.u_var)))
+    df.Dataflow.undefined_uses;
+  List.iter
+    (fun (d : Dataflow.def) ->
+      add
+        (diag ?source_name ~span:d.Dataflow.d_span ~code:"L110"
+           Diagnostic.Warning
+           (Printf.sprintf
+              "host variable %s is written here but never read by a \
+               later SQL statement (dead write)"
+              d.Dataflow.d_var)))
+    df.Dataflow.dead_defs;
+  (* one L111 per (def site, use site), not per chain: fallback pairing
+     can thread one use through many defs *)
+  let seen = ref [] in
+  List.iter
+    (fun (ch : Dataflow.chain) ->
+      match (ch.Dataflow.c_def.d_col, ch.Dataflow.c_use.u_col) with
+      | Some (dc : Equijoin.resolved_col), Some (uc : Equijoin.resolved_col)
+        ->
+          let dom (rc : Equijoin.resolved_col) =
+            match Schema.find schema rc.rc_rel with
+            | Some r when Relation.has_attr r rc.rc_attr ->
+                Relation.domain_of r rc.rc_attr
+            | _ -> Domain.Unknown
+          in
+          let dd = dom dc and du = dom uc in
+          let key = (ch.Dataflow.c_def.d_span, ch.Dataflow.c_use.u_span) in
+          if (not (Domain.compatible dd du)) && not (List.mem key !seen)
+          then begin
+            seen := key :: !seen;
+            add
+              (diag ?source_name
+                 ~span:
+                   (Span.join ch.Dataflow.c_def.d_span
+                      ch.Dataflow.c_use.u_span)
+                 ~code:"L111" Diagnostic.Warning
+                 (Printf.sprintf
+                    "host variable %s carries %s.%s (%s) into a use \
+                     against %s.%s (%s): incompatible attribute domains \
+                     undermine the recovered dataflow join"
+                    ch.Dataflow.c_use.u_var dc.rc_rel dc.rc_attr
+                    (Domain.to_string dd) uc.rc_rel uc.rc_attr
+                    (Domain.to_string du)))
+          end
+      | _ -> ())
+    df.Dataflow.chains;
+  List.iter
+    (fun (c : Dataflow.cursor_info) ->
+      match c.Dataflow.cur_opened with
+      | first :: _ when c.Dataflow.cur_fetches = 0 ->
+          add
+            (diag ?source_name ~span:first ~code:"L112" Diagnostic.Warning
+               (Printf.sprintf
+                  "cursor %s is opened but never fetched: its declared \
+                   query runs for nothing"
+                  c.Dataflow.cur_name))
+      | _ -> ())
+    df.Dataflow.cursors;
+  List.rev !diags
 
 (* ---------------------------------------------------------------- *)
 (* Entry points                                                       *)
@@ -404,7 +485,12 @@ let check_statement ?source_name schema (stmt : Ast.statement) =
       (match stmt with
       | Ast.Insert_select (_, _, q) -> walk_query ctx [] q
       | _ -> ())
-  | Ast.Create _ | Ast.Alter _ -> ());
+  | Ast.Select_into (_, q) | Ast.Declare_cursor (_, q, _) ->
+      walk_query ctx [] q
+  | Ast.Create_view cv -> walk_query ctx [] cv.Ast.cv_query
+  | Ast.Create _ | Ast.Alter _ | Ast.Open_cursor _ | Ast.Fetch _
+  | Ast.Close_cursor _ ->
+      ());
   l106 ctx;
   l105 ctx stmt;
   l107 ctx stmt;
@@ -412,7 +498,9 @@ let check_statement ?source_name schema (stmt : Ast.statement) =
 
 let check_script ?source_name schema text =
   match Parser.parse_script text with
-  | stmts -> List.concat_map (check_statement ?source_name schema) stmts
+  | stmts ->
+      List.concat_map (check_statement ?source_name schema) stmts
+      @ dataflow_rules ?source_name schema stmts
   | exception (Parser.Error msg | Lexer.Error (msg, _)) ->
       [
         diag ?source_name ~code:"L108" Diagnostic.Warning
@@ -438,3 +526,4 @@ let check_program ?source_name schema text =
   in
   failures
   @ List.concat_map (check_statement ?source_name schema) e.Embedded.statements
+  @ dataflow_rules ?source_name schema e.Embedded.statements

@@ -24,12 +24,33 @@
     - [L107] (info) — the statement navigates several relations but
       contributes no equi-join to the paper's set [Q].
     - [L108] (warning) — an embedded-SQL fragment that was found but
-      does not parse, located in the host program. *)
+      does not parse, located in the host program.
+
+    The dataflow rules run over a whole program's ordered statements
+    ({!Sqlx.Dataflow}); host variables never defined by any SQL
+    statement are assumed host-language state and stay silent:
+
+    - [L109] (warning) — a host variable is used before the SQL
+      statement that defines it.
+    - [L110] (warning) — a host variable is written ([SELECT … INTO] /
+      [FETCH]) but never read by a later SQL statement (dead write).
+    - [L111] (warning) — a def-use chain carries a value between
+      attributes of incompatible declared domains.
+    - [L112] (warning) — a cursor is opened but never fetched. *)
 
 open Relational
 
 val check_statement :
   ?source_name:string -> Schema.t -> Sqlx.Ast.statement -> Diagnostic.t list
+
+val dataflow_rules :
+  ?source_name:string ->
+  Schema.t ->
+  Sqlx.Ast.statement list ->
+  Diagnostic.t list
+(** The [L109]–[L112] checks over one program's ordered statements.
+    Called by {!check_script} and {!check_program}; exposed for callers
+    that already hold a parsed statement list. *)
 
 val check_script :
   ?source_name:string -> Schema.t -> string -> Diagnostic.t list

@@ -4,7 +4,11 @@ type column = { tbl : string option; col : string; c_span : Span.t }
 
 type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
 
-type expr = Col of column | Lit of Value.t | Host of string | Agg_of of agg
+type expr =
+  | Col of column
+  | Lit of Value.t
+  | Host of string * Span.t
+  | Agg_of of agg
 
 and cond =
   | Cmp of cmp_op * expr * expr
@@ -71,6 +75,15 @@ type alter_action =
   | Drop_column of string
   | Add_foreign_key of string list * string * string list
 
+type host_target = { hv_name : string; hv_span : Span.t }
+
+type create_view = {
+  cv_name : string;
+  cv_cols : string list option;
+  cv_query : query;
+  cv_span : Span.t;
+}
+
 type statement =
   | Query of query
   | Create of create_table
@@ -79,9 +92,16 @@ type statement =
   | Update of string * (string * expr) list * cond option
   | Delete of string * cond option
   | Alter of string * alter_action
+  | Select_into of host_target list * query
+  | Declare_cursor of string * query * Span.t
+  | Open_cursor of string * Span.t
+  | Fetch of string * host_target list * Span.t
+  | Close_cursor of string * Span.t
+  | Create_view of create_view
 
 let column ?tbl ?(span = Span.dummy) col = { tbl; col; c_span = span }
 let table_ref ?alias ?(span = Span.dummy) rel = { rel; alias; t_span = span }
+let host_target ?(span = Span.dummy) hv_name = { hv_name; hv_span = span }
 
 let rec query_selects = function
   | Select s -> [ s ]

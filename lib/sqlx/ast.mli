@@ -3,9 +3,11 @@
     The subset covers what the paper's program analysis needs (§4):
     select-project-join queries with conjunctive/disjunctive conditions,
     nested [IN]/[EXISTS] subqueries, [INTERSECT]/[UNION]/[EXCEPT], plus
-    the DDL ([CREATE TABLE]) and DML ([INSERT]) needed to load legacy
-    databases from scripts. Host variables ([:emp]) lex as identifiers
-    beginning with [':'] and act as opaque constants. *)
+    the DDL ([CREATE TABLE]/[CREATE VIEW]) and DML ([INSERT]) needed to
+    load legacy databases from scripts, and the embedded-SQL statement
+    forms that carry inter-statement dataflow ([SELECT ... INTO],
+    cursors). Host variables ([:emp]) lex as identifiers beginning with
+    [':'] and act as opaque constants. *)
 
 open Relational
 
@@ -19,7 +21,9 @@ type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
 type expr =
   | Col of column
   | Lit of Value.t
-  | Host of string  (** embedded-program host variable, e.g. [:emp] *)
+  | Host of string * Span.t
+      (** embedded-program host variable, e.g. [:emp]; the span covers
+          the whole [:name] occurrence *)
   | Agg_of of agg  (** aggregate used as a value — only legal in [HAVING] *)
 
 and cond =
@@ -93,6 +97,17 @@ type alter_action =
   | Add_foreign_key of string list * string * string list
       (** [(cols, referenced table, referenced cols)] *)
 
+type host_target = { hv_name : string; hv_span : Span.t }
+(** A host variable receiving a value ([INTO :h] target). [hv_name]
+    keeps the leading [':'], matching the [Host] expression form. *)
+
+type create_view = {
+  cv_name : string;
+  cv_cols : string list option;  (** optional explicit column list *)
+  cv_query : query;
+  cv_span : Span.t;  (** span of the view name *)
+}
+
 type statement =
   | Query of query
   | Create of create_table
@@ -103,12 +118,25 @@ type statement =
   | Update of string * (string * expr) list * cond option
   | Delete of string * cond option
   | Alter of string * alter_action
+  | Select_into of host_target list * query
+      (** [SELECT ... INTO :h1, :h2 FROM ...] — singleton fetch into
+          host variables (embedded SQL) *)
+  | Declare_cursor of string * query * Span.t
+      (** [DECLARE c CURSOR FOR query]; span covers the cursor name *)
+  | Open_cursor of string * Span.t
+  | Fetch of string * host_target list * Span.t
+      (** [FETCH c INTO :h1, :h2]; span covers the cursor name *)
+  | Close_cursor of string * Span.t
+  | Create_view of create_view
 
 val column : ?tbl:string -> ?span:Span.t -> string -> column
 (** Build a column reference; [span] defaults to {!Span.dummy}. *)
 
 val table_ref : ?alias:string -> ?span:Span.t -> string -> table_ref
 (** Build a table reference; [span] defaults to {!Span.dummy}. *)
+
+val host_target : ?span:Span.t -> string -> host_target
+(** Build an [INTO] target; [span] defaults to {!Span.dummy}. *)
 
 val query_selects : query -> select list
 (** Every [select] node of a query, including nested set-operation

@@ -55,7 +55,11 @@ let schema_of_script script =
           ( Schema.add schema (relation_of_create ct),
             fks @ foreign_keys_of_create ct )
       | Ast.Query _ | Ast.Insert _ | Ast.Insert_select _ | Ast.Update _
-      | Ast.Delete _ | Ast.Alter _ ->
+      | Ast.Delete _ | Ast.Alter _ | Ast.Select_into _ | Ast.Declare_cursor _
+      | Ast.Open_cursor _ | Ast.Fetch _ | Ast.Close_cursor _
+      | Ast.Create_view _ ->
+          (* views are macro-expanded at analysis time, not materialized
+             as schema relations *)
           (schema, fks))
     (Schema.empty, []) stmts
 
@@ -87,7 +91,7 @@ let value_of_expr = function
   | Ast.Lit v -> v
   | Ast.Col c ->
       Error.raisef Error.Sql_parse "Ddl.load_script: column %s in VALUES" c.col
-  | Ast.Host h ->
+  | Ast.Host (h, _) ->
       Error.raisef Error.Sql_parse
         "Ddl.load_script: host variable %s in VALUES" h
   | Ast.Agg_of _ -> Error.raise_ Error.Sql_parse "Ddl.load_script: aggregate in VALUES"
@@ -141,7 +145,9 @@ let load_script script =
               Database.insert db rel tuple)
             rows
       | Ast.Create _ | Ast.Query _ | Ast.Insert_select _ | Ast.Update _
-      | Ast.Delete _ | Ast.Alter _ ->
+      | Ast.Delete _ | Ast.Alter _ | Ast.Select_into _ | Ast.Declare_cursor _
+      | Ast.Open_cursor _ | Ast.Fetch _ | Ast.Close_cursor _
+      | Ast.Create_view _ ->
           ())
     stmts;
   db

@@ -16,11 +16,6 @@ let find_sub lower needle start =
   in
   go start
 
-let find_ci haystack needle start =
-  (* case-insensitive substring search *)
-  find_sub (String.lowercase_ascii haystack) (String.lowercase_ascii needle)
-    start
-
 (* like String.trim, but return how many leading characters were dropped
    so the caller can keep host offsets exact *)
 let trim_located s off =
@@ -72,58 +67,52 @@ let exec_sql_blocks_located text =
   go 0;
   List.rev !blocks
 
-let sql_keywords = [ "select"; "insert"; "update"; "delete"; "create"; "alter" ]
+(* EXEC SQL blocks are SQL by construction, so all statement forms count;
+   string literals only become dynamic SQL through an API call, and the
+   cursor protocol (OPEN/FETCH/CLOSE) never travels that way — keeping
+   those prefixes out of the literal list avoids flagging ordinary prose
+   strings ("OPEN THE FILE...") as failed SQL *)
+let block_keywords =
+  [
+    "select"; "insert"; "update"; "delete"; "create"; "alter"; "declare";
+    "open"; "fetch"; "close";
+  ]
 
-(* COBOL/embedded-SQL cursors: "DECLARE <name> CURSOR FOR <select>" — the
-   interesting part is the select. The located variant keeps the host
-   offset of whatever survives. *)
-let strip_cursor_located s off =
-  let trimmed, off = trim_located s off in
-  let lower = String.lowercase_ascii trimmed in
-  let prefix = "declare" in
-  if
-    String.length lower > String.length prefix
-    && String.sub lower 0 (String.length prefix) = prefix
-  then
-    match find_ci lower "cursor for" 0 with
-    | Some i ->
-        let start = i + String.length "cursor for" in
-        trim_located
-          (String.sub trimmed start (String.length trimmed - start))
-          (off + start)
-    | None -> (trimmed, off)
-  else (trimmed, off)
+let literal_keywords =
+  [ "select"; "insert"; "update"; "delete"; "create"; "alter"; "declare" ]
 
-let strip_cursor_declaration s = fst (strip_cursor_located s 0)
-
-let looks_like_sql s =
-  let s = String.lowercase_ascii (strip_cursor_declaration s) in
+let looks_like_sql keywords s =
+  let s = String.lowercase_ascii (String.trim s) in
   List.exists
     (fun kw ->
       String.length s > String.length kw
       && String.sub s 0 (String.length kw) = kw)
-    sql_keywords
+    keywords
 
-(* scan string literals, joining adjacent ones (possibly via + or &);
-   each carries the host offset of its first character. Offsets inside a
-   merged multi-literal are approximate past the first piece (quote
-   doubling and the joining space shift them), which is the best a
-   dynamic-SQL extractor can do. *)
+(* scan string literals, joining adjacent ones (possibly via + or &).
+   Each literal carries the host offset of every character — quote
+   doubling and the synthetic space joining merged pieces make the
+   fragment-to-host mapping non-affine, so a single start offset cannot
+   place positions past the first piece exactly. *)
 let string_literals_located text =
   let n = String.length text in
   let literals = ref [] in
   let read_literal quote i =
+    (* (contents, host offset of each contents char, end offset, resume) *)
     let buf = Buffer.create 32 in
+    let offs = ref [] in
     let rec go j =
-      if j >= n then (Buffer.contents buf, j)
+      if j >= n then (Buffer.contents buf, List.rev !offs, j, j)
       else if text.[j] = quote then
         if j + 1 < n && text.[j + 1] = quote then begin
           Buffer.add_char buf quote;
+          offs := j :: !offs;
           go (j + 2)
         end
-        else (Buffer.contents buf, j + 1)
+        else (Buffer.contents buf, List.rev !offs, j, j + 1)
       else begin
         Buffer.add_char buf text.[j];
+        offs := j :: !offs;
         go (j + 1)
       end
     in
@@ -143,15 +132,17 @@ let string_literals_located text =
     else
       match text.[i] with
       | '"' | '\'' ->
-          let lit, j = read_literal text.[i] (i + 1) in
+          let lit, offs, stop, j = read_literal text.[i] (i + 1) in
           let k = skip_concat j in
           let continues =
             k < n && (text.[k] = '"' || text.[k] = '\'') && k > j
           in
           let merged =
             match current with
-            | Some (c, o) -> (c ^ " " ^ lit, o)
-            | None -> (lit, i + 1)
+            | Some (c, coffs, cstop) ->
+                (* the synthetic joining space points at the gap *)
+                (c ^ " " ^ lit, coffs @ (cstop :: offs), stop)
+            | None -> (lit, offs, stop)
           in
           if continues then go k (Some merged)
           else begin
@@ -163,12 +154,22 @@ let string_literals_located text =
   go 0 None;
   List.rev !literals
 
-let located_fragments text =
-  let blocks = exec_sql_blocks_located text in
+(* a candidate fragment: [f_map], when present, holds the exact host
+   offset of every fragment character plus one end sentinel (non-affine
+   literal mapping); otherwise the mapping is the offset shift [f_off] *)
+type fragment = { f_text : string; f_off : int; f_map : int array option }
+
+let fragments_of text =
+  let raw_blocks = exec_sql_blocks_located text in
+  let blocks =
+    List.map (fun (body, off) -> trim_located body off) raw_blocks
+    |> List.filter (fun (s, _) -> looks_like_sql block_keywords s)
+    |> List.map (fun (s, off) -> { f_text = s; f_off = off; f_map = None })
+  in
   (* avoid re-reporting literals inside EXEC SQL blocks: blank the exact
-     offset ranges, preserving newlines so literal line numbers hold *)
+     offset ranges, preserving newlines so literal offsets stay valid *)
   let without_blocks =
-    match blocks with
+    match raw_blocks with
     | [] -> text
     | _ ->
         let b = Bytes.of_string text in
@@ -177,55 +178,62 @@ let located_fragments text =
             for i = off to off + String.length body - 1 do
               if Bytes.get b i <> '\n' then Bytes.set b i ' '
             done)
-          blocks;
+          raw_blocks;
         Bytes.to_string b
   in
   let literals =
     string_literals_located without_blocks
-    |> List.filter (fun (s, _) -> looks_like_sql s)
-    |> List.map (fun (s, off) -> strip_cursor_located s off)
+    |> List.filter (fun (s, _, _) -> looks_like_sql literal_keywords s)
+    |> List.map (fun (s, offs, stop) ->
+           let map = Array.of_list (offs @ [ stop ]) in
+           (* trim whitespace, keeping the offset map aligned *)
+           let trimmed, lead = trim_located s 0 in
+           let map = Array.sub map lead (String.length trimmed + 1) in
+           { f_text = trimmed; f_off = map.(0); f_map = Some map })
   in
-  let blocks =
-    List.map (fun (body, off) -> trim_located body off) blocks
-    |> List.filter (fun (s, _) -> looks_like_sql s)
-    |> List.map (fun (s, off) -> strip_cursor_located s off)
-  in
-  let fragments = blocks @ literals in
-  (* one left-to-right pass converts host offsets to line/col bases *)
-  let sorted =
-    List.sort (fun (_, a) (_, b) -> Int.compare a b) fragments
-  in
-  let bases = Hashtbl.create 8 in
-  ignore
-    (List.fold_left
-       (fun base (_, off) ->
-         let base =
-           Span.advance base
-             (String.sub text base.Span.b_off (off - base.Span.b_off))
-             (off - base.Span.b_off)
-         in
-         if not (Hashtbl.mem bases off) then Hashtbl.add bases off base;
-         base)
-       Span.base0 sorted);
-  List.map (fun (frag, off) -> (frag, Hashtbl.find bases off)) fragments
+  blocks @ literals
 
-let extract_sql_fragments text = List.map fst (located_fragments text)
+let located_fragments text =
+  let locate = Span.locator text in
+  List.map (fun f -> (f.f_text, locate f.f_off)) (fragments_of text)
 
-let span_of_fragment (frag, base) =
-  let e = Span.advance base frag (String.length frag) in
-  Span.make ~s_off:base.Span.b_off ~s_line:base.Span.b_line
-    ~s_col:base.Span.b_col ~e_off:e.Span.b_off ~e_line:e.Span.b_line
-    ~e_col:e.Span.b_col
+let extract_sql_fragments text =
+  List.map (fun f -> f.f_text) (fragments_of text)
+
+let fragment_locate host_locate map off =
+  let off = max 0 (min off (Array.length map - 1)) in
+  host_locate map.(off)
+
+let span_of_fragment host_locate f =
+  let s, e =
+    match f.f_map with
+    | Some map ->
+        ( fragment_locate host_locate map 0,
+          fragment_locate host_locate map (String.length f.f_text) )
+    | None ->
+        let base = host_locate f.f_off in
+        (base, Span.advance base f.f_text (String.length f.f_text))
+  in
+  Span.make ~s_off:s.Span.b_off ~s_line:s.Span.b_line ~s_col:s.Span.b_col
+    ~e_off:e.Span.b_off ~e_line:e.Span.b_line ~e_col:e.Span.b_col
 
 let scan text =
-  let fragments = located_fragments text in
+  let host_locate = Span.locator text in
+  let fragments = fragments_of text in
   let chunks, failures =
     List.fold_left
-      (fun (chunks, fails) ((fragment, base) as located) ->
-        match Parser.parse_script ~base fragment with
+      (fun (chunks, fails) f ->
+        match
+          match f.f_map with
+          | Some map ->
+              Parser.parse_script
+                ~locate:(fragment_locate host_locate map)
+                f.f_text
+          | None -> Parser.parse_script ~base:(host_locate f.f_off) f.f_text
+        with
         | parsed -> (parsed :: chunks, fails)
         | exception (Parser.Error _ | Lexer.Error _) ->
-            (chunks, (fragment, span_of_fragment located) :: fails))
+            (chunks, (f.f_text, span_of_fragment host_locate f) :: fails))
       ([], []) fragments
   in
   let statements = List.concat (List.rev chunks) in

@@ -8,11 +8,13 @@
     parse (legacy sources are full of dialect noise — a real extractor
     must survive them).
 
-    Every fragment keeps the host offset it was found at, so the parsed
-    AST carries spans in host-program coordinates: a diagnostic about an
+    Every fragment keeps its exact host coordinates, so the parsed AST
+    carries spans in host-program coordinates: a diagnostic about an
     embedded query points into the original source file. [EXEC SQL]
-    block offsets are exact; inside a merged multi-literal dynamic-SQL
-    string, positions past the first piece are approximate. *)
+    blocks map by a single offset shift; merged multi-literal dynamic-SQL
+    strings carry a per-character offset map (quote doubling and literal
+    boundaries make the mapping non-affine), so positions past the first
+    piece are exact too. *)
 
 type extraction = {
   statements : Ast.statement list;  (** successfully parsed statements *)
@@ -32,11 +34,12 @@ val extract_sql_fragments : string -> string list
 (** The raw candidate SQL fragments of a source text, before parsing:
     [EXEC SQL] blocks first (document order), then SQL-looking string
     literals (double- or single-quoted text starting with
-    SELECT/INSERT/UPDATE/DELETE/CREATE/ALTER, case-insensitive, or a
-    [DECLARE <name> CURSOR FOR <select>] whose declaration prefix is
-    stripped). Host-variable
-    markers are preserved (the SQL lexer understands [:var]). Adjacent
-    string literals separated only by whitespace or [+]/[&] concatenation
+    SELECT/INSERT/UPDATE/DELETE/CREATE/ALTER/DECLARE, case-insensitive;
+    blocks additionally accept the cursor protocol OPEN/FETCH/CLOSE).
+    [DECLARE c CURSOR FOR ...] is kept whole and parsed natively
+    ({!Ast.statement.Declare_cursor}). Host-variable markers are
+    preserved (the SQL lexer understands [:var]). Adjacent string
+    literals separated only by whitespace or [+]/[&] concatenation
     operators are joined, covering multi-line dynamic SQL. *)
 
 val located_fragments : string -> (string * Span.base) list

@@ -312,6 +312,69 @@ let column_pairs_of_query schema q =
   walk_query ctx [] q;
   export_pairs ctx.pairs
 
+(* ------------------------------------------------------------------ *)
+(* INSERT ... SELECT value flow                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [INSERT INTO t (c1, c2) SELECT a, b FROM s ...] equates t.c_i with the
+   i-th projected column: the copied values must agree, which is exactly
+   the equi-join evidence the paper elicits from navigation. Pairs are
+   grouped per source FROM instance, like WHERE equalities. *)
+let insert_select_flows schema rel cols (q : Ast.query) =
+  match Schema.find schema rel with
+  | None -> []
+  | Some target_rel ->
+      let targets =
+        match cols with
+        | Some cs -> cs
+        | None -> target_rel.Relation.attrs
+      in
+      let ctx = { schema; next_scope = 0; pairs = [] } in
+      List.concat_map
+        (fun (s : Ast.select) ->
+          match projected_columns s with
+          | Some pcols when List.length pcols = List.length targets ->
+              let frame =
+                { scope = fresh_scope ctx; entries = entries_of_from s.from }
+              in
+              List.filter_map
+                (fun (tattr, pcol) ->
+                  if not (Relation.has_attr target_rel tattr) then None
+                  else
+                    match resolve schema [ frame ] pcol with
+                    | Some r when not (r.r_rel = rel && r.r_attr = tattr) ->
+                        Some (tattr, r)
+                    | _ -> None)
+                (List.combine targets pcols)
+          | _ -> [])
+        (Ast.query_selects q)
+
+let insert_select_joins schema rel cols q =
+  let flows = insert_select_flows schema rel cols q in
+  let tbl = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (tattr, r) ->
+      let key = (r.r_scope, r.r_alias, r.r_rel) in
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := (tattr, r.r_attr) :: !cell
+      | None ->
+          Hashtbl.add tbl key (ref [ (tattr, r.r_attr) ]);
+          order := key :: !order)
+    flows;
+  List.rev_map
+    (fun ((_, _, src_rel) as key) ->
+      let pairs = List.sort_uniq Stdlib.compare !(Hashtbl.find tbl key) in
+      make (rel, List.map fst pairs) (src_rel, List.map snd pairs))
+    !order
+
+let insert_select_pairs schema rel cols q =
+  List.map
+    (fun (tattr, r) ->
+      ( { rc_rel = rel; rc_attr = tattr; rc_span = Span.dummy },
+        { rc_rel = r.r_rel; rc_attr = r.r_attr; rc_span = r.r_span } ))
+    (insert_select_flows schema rel cols q)
+
 let column_pairs_of_statement schema (stmt : Ast.statement) =
   match stmt with
   | Ast.Query q -> column_pairs_of_query schema q
@@ -320,9 +383,14 @@ let column_pairs_of_statement schema (stmt : Ast.statement) =
       let frame = { scope = fresh_scope ctx; entries = [ (rel, rel) ] } in
       List.iter (walk_conjunct ctx [ frame ]) (Ast.cond_conjuncts where);
       export_pairs ctx.pairs
-  | Ast.Insert_select (_, _, q) -> column_pairs_of_query schema q
+  | Ast.Insert_select (rel, cols, q) ->
+      column_pairs_of_query schema q @ insert_select_pairs schema rel cols q
+  | Ast.Select_into (_, q) | Ast.Declare_cursor (_, q, _) ->
+      column_pairs_of_query schema q
+  | Ast.Create_view cv -> column_pairs_of_query schema cv.cv_query
   | Ast.Update (_, _, None) | Ast.Delete (_, None)
-  | Ast.Create _ | Ast.Insert _ | Ast.Alter _ ->
+  | Ast.Create _ | Ast.Insert _ | Ast.Alter _
+  | Ast.Open_cursor _ | Ast.Fetch _ | Ast.Close_cursor _ ->
       []
 
 let of_statement schema (stmt : Ast.statement) =
@@ -333,9 +401,14 @@ let of_statement schema (stmt : Ast.statement) =
       let frame = { scope = fresh_scope ctx; entries = [ (rel, rel) ] } in
       List.iter (walk_conjunct ctx [ frame ]) (Ast.cond_conjuncts where);
       dedupe (joins_of_pairs ctx.pairs)
-  | Ast.Insert_select (_, _, q) -> of_query schema q
+  | Ast.Insert_select (rel, cols, q) ->
+      dedupe (of_query schema q @ insert_select_joins schema rel cols q)
+  | Ast.Select_into (_, q) | Ast.Declare_cursor (_, q, _) ->
+      of_query schema q
+  | Ast.Create_view cv -> of_query schema cv.cv_query
   | Ast.Update (_, _, None) | Ast.Delete (_, None)
-  | Ast.Create _ | Ast.Insert _ | Ast.Alter _ ->
+  | Ast.Create _ | Ast.Insert _ | Ast.Alter _
+  | Ast.Open_cursor _ | Ast.Fetch _ | Ast.Close_cursor _ ->
       []
 
 let of_script schema script =

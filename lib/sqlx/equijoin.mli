@@ -46,7 +46,13 @@ val of_query : Schema.t -> Ast.query -> t list
 
 val of_statement : Schema.t -> Ast.statement -> t list
 (** Queries contribute via {!of_query}; [UPDATE]/[DELETE] conditions are
-    scanned too; DDL and [INSERT] contribute nothing. *)
+    scanned too; [SELECT ... INTO], [DECLARE ... CURSOR] and
+    [CREATE VIEW] contribute their embedded query;
+    [INSERT INTO t (cols) SELECT ...] additionally pairs each target
+    column with its projected source column positionally (the copied
+    values must agree — navigation evidence); DDL and plain [INSERT]
+    contribute nothing. Inter-statement (host-variable) evidence is the
+    job of {!Dataflow}. *)
 
 val of_script : Schema.t -> string -> t list
 (** Parse a SQL script and elicit from every statement, deduplicated. *)

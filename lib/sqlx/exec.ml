@@ -40,7 +40,7 @@ let rec lookup ctx (c : Ast.column) =
 
 let eval_expr host ctx = function
   | Ast.Lit v -> v
-  | Ast.Host h -> host h
+  | Ast.Host (h, _) -> host h
   | Ast.Agg_of _ -> err "aggregate used outside HAVING"
   | Ast.Col c -> (
       match lookup ctx c with
@@ -339,7 +339,7 @@ and eval_grouped host _mk cols rows (s : Ast.select) proj_name =
   (* HAVING: evaluated per group, with aggregates available as values *)
   let rec having_expr group gkey = function
     | Ast.Lit v -> v
-    | Ast.Host h -> host h
+    | Ast.Host (h, _) -> host h
     | Ast.Agg_of agg -> agg_value group agg
     | Ast.Col c -> (
         let rec pos i = function
@@ -459,7 +459,7 @@ let exec_statement ?(host = default_host) db (stmt : Ast.statement) =
   | Ast.Insert (rel, cols, rows) ->
       let literal = function
         | Ast.Lit v -> v
-        | Ast.Host h -> host h
+        | Ast.Host (h, _) -> host h
         | Ast.Col c -> err "column %s in VALUES" c.Ast.col
         | Ast.Agg_of _ -> err "aggregate in VALUES"
       in
@@ -541,6 +541,19 @@ let exec_statement ?(host = default_host) db (stmt : Ast.statement) =
         err "ALTER %s ADD FOREIGN KEY (%s) REFERENCES %s: violated by the \
              extension"
           rel (String.concat "," cols) target
+  | Ast.Select_into (_, q) ->
+      (* embedded-SQL singleton fetch: evaluate for effect; the
+         host-variable sink lives outside the interpreter *)
+      ignore (eval_query host db None q)
+  | Ast.Declare_cursor _ | Ast.Open_cursor _ | Ast.Fetch _
+  | Ast.Close_cursor _ ->
+      (* cursor protocol is host-program state; the analyses read these
+         statements statically, the interpreter has nothing to do *)
+      ()
+  | Ast.Create_view _ ->
+      (* views are macro-expanded by the static analyses, never
+         materialized *)
+      ()
 
 let exec_script ?host db script =
   List.iter (exec_statement ?host db) (Parser.parse_script script)

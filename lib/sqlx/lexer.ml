@@ -28,7 +28,7 @@ let pos_of starts off =
   done;
   (!lo + 1, off - starts.(!lo) + 1)
 
-let tokenize_spanned ?(base = Span.base0) input =
+let tokenize_spanned ?(base = Span.base0) ?locate input =
   let n = String.length input in
   let toks = ref [] in
   (* emit the token lexed from [i, j) *)
@@ -194,16 +194,24 @@ let tokenize_spanned ?(base = Span.base0) input =
   in
   go 0;
   let starts = line_starts input in
-  List.rev_map
-    (fun (tok, i, j) ->
-      let s_line, s_col = pos_of starts i in
-      let e_line, e_col = pos_of starts j in
-      let span =
-        Span.rebase base
-          (Span.make ~s_off:i ~s_line ~s_col ~e_off:j ~e_line ~e_col)
-      in
-      { Token.tok; span })
-    !toks
+  let span_of =
+    match locate with
+    | Some locate ->
+        (* non-affine fragment -> host mapping (merged multi-literal
+           dynamic SQL): each offset is located independently *)
+        fun i j ->
+          let s = locate i and e = locate j in
+          Span.make ~s_off:s.Span.b_off ~s_line:s.Span.b_line
+            ~s_col:s.Span.b_col ~e_off:e.Span.b_off ~e_line:e.Span.b_line
+            ~e_col:e.Span.b_col
+    | None ->
+        fun i j ->
+          let s_line, s_col = pos_of starts i in
+          let e_line, e_col = pos_of starts j in
+          Span.rebase base
+            (Span.make ~s_off:i ~s_line ~s_col ~e_off:j ~e_line ~e_col)
+  in
+  List.rev_map (fun (tok, i, j) -> { Token.tok; span = span_of i j }) !toks
 
 let tokenize input =
   List.map (fun (s : Token.spanned) -> s.Token.tok) (tokenize_spanned input)

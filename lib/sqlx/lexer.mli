@@ -11,8 +11,13 @@ exception Error of string * int
 val tokenize : string -> Token.t list
 (** Whole-input lexing; the result always ends with [Token.Eof]. *)
 
-val tokenize_spanned : ?base:Span.base -> string -> Token.spanned list
+val tokenize_spanned :
+  ?base:Span.base -> ?locate:(int -> Span.base) -> string -> Token.spanned list
 (** Like {!tokenize} but every token carries its source span. [base]
     (default {!Span.base0}) re-bases spans onto an enclosing text — used
     by {!Embedded} so spans of SQL extracted from a host program point
-    into the host source. *)
+    into the host source. When the fragment-to-host mapping is not a
+    single offset shift (a dynamic-SQL string merged from several
+    literals), pass [locate] instead: it maps each fragment-relative
+    byte offset to its exact host position and takes precedence over
+    [base]. *)

@@ -89,20 +89,39 @@ let cmp_of_punct = function
   | ">=" -> Some Ast.Geq
   | _ -> None
 
+(* host-variable targets of an [INTO] clause: [:h1, :h2] *)
+let host_target_list st =
+  let one () =
+    let span = peek_span st in
+    match peek st with
+    | Token.Ident i when String.length i > 0 && i.[0] = ':' ->
+        advance st;
+        { Ast.hv_name = i; hv_span = span }
+    | _ -> fail st "expected host variable after INTO"
+  in
+  let rec items acc =
+    let h = one () in
+    if accept st (Token.Punct ",") then items (h :: acc)
+    else List.rev (h :: acc)
+  in
+  items []
+
 let rec expr st =
   match literal st with
   | Some v -> Ast.Lit v
   | None -> (
       match peek st with
       | Token.Ident i when String.length i > 0 && i.[0] = ':' ->
+          let span = peek_span st in
           advance st;
-          Ast.Host i
+          Ast.Host (i, span)
       | Token.Kw ("COUNT" | "SUM" | "AVG" | "MIN" | "MAX") ->
           Ast.Agg_of (aggregate st)
       | _ -> Ast.Col (column st))
 
-and query st =
-  let left = select_atom st in
+and query st = query_tail st (select_atom st)
+
+and query_tail st left =
   match peek st with
   | Token.Kw "UNION" ->
       advance st;
@@ -124,10 +143,15 @@ and select_atom st =
   end
   else Ast.Select (select st)
 
-and select st =
+and select ?into st =
   eat_kw st "SELECT";
   let distinct = accept_kw st "DISTINCT" in
   let projections = proj_list st in
+  (* [SELECT ... INTO :h FROM ...] — only legal where the caller passes a
+     sink (top-level embedded-SQL statements, not subqueries) *)
+  (match into with
+  | Some sink when accept_kw st "INTO" -> sink := host_target_list st
+  | _ -> ());
   eat_kw st "FROM";
   let from, join_conds = from_clause st in
   let where =
@@ -578,26 +602,72 @@ let alter st =
       | _ -> fail st "expected FOREIGN KEY after ADD")
   | _ -> fail st "expected DROP or ADD after ALTER TABLE"
 
+let create_view st =
+  eat_kw st "CREATE";
+  eat_kw st "VIEW";
+  let cv_name, cv_span = name_sp st in
+  let cv_cols =
+    match peek st with Token.Punct "(" -> Some (name_list st) | _ -> None
+  in
+  eat_kw st "AS";
+  Ast.Create_view { Ast.cv_name; cv_cols; cv_query = query st; cv_span }
+
+let declare_cursor st =
+  eat_kw st "DECLARE";
+  let cname, span = name_sp st in
+  eat_kw st "CURSOR";
+  eat_kw st "FOR";
+  Ast.Declare_cursor (cname, query st, span)
+
+let open_cursor st =
+  eat_kw st "OPEN";
+  let cname, span = name_sp st in
+  Ast.Open_cursor (cname, span)
+
+let fetch st =
+  eat_kw st "FETCH";
+  let cname, span = name_sp st in
+  eat_kw st "INTO";
+  Ast.Fetch (cname, host_target_list st, span)
+
+let close_cursor st =
+  eat_kw st "CLOSE";
+  let cname, span = name_sp st in
+  Ast.Close_cursor (cname, span)
+
+let select_statement st =
+  let into = ref [] in
+  let q = query_tail st (Ast.Select (select ~into st)) in
+  match !into with [] -> Ast.Query q | targets -> Ast.Select_into (targets, q)
+
 let statement st =
   match peek st with
-  | Token.Kw "SELECT" | Token.Punct "(" -> Ast.Query (query st)
-  | Token.Kw "CREATE" -> Ast.Create (create_table st)
+  | Token.Kw "SELECT" -> select_statement st
+  | Token.Punct "(" -> Ast.Query (query st)
+  | Token.Kw "CREATE" -> (
+      match peek2 st with
+      | Token.Kw "VIEW" -> create_view st
+      | _ -> Ast.Create (create_table st))
   | Token.Kw "INSERT" -> insert st
   | Token.Kw "UPDATE" -> update st
   | Token.Kw "DELETE" -> delete st
   | Token.Kw "ALTER" -> alter st
+  | Token.Kw "DECLARE" -> declare_cursor st
+  | Token.Kw "OPEN" -> open_cursor st
+  | Token.Kw "FETCH" -> fetch st
+  | Token.Kw "CLOSE" -> close_cursor st
   | _ -> fail st "expected a statement"
 
-let of_string ?base input =
+let of_string ?base ?locate input =
   let toks =
-    try Lexer.tokenize_spanned ?base input
+    try Lexer.tokenize_spanned ?base ?locate input
     with Lexer.Error (msg, pos) ->
       raise (Error (Printf.sprintf "lexical error at offset %d: %s" pos msg))
   in
   { toks = Array.of_list toks; pos = 0 }
 
-let parse_statement ?base input =
-  let st = of_string ?base input in
+let parse_statement ?base ?locate input =
+  let st = of_string ?base ?locate input in
   let s = statement st in
   ignore (accept st (Token.Punct ";"));
   (match peek st with
@@ -605,8 +675,8 @@ let parse_statement ?base input =
   | _ -> fail st "trailing tokens after statement");
   s
 
-let parse_script ?base input =
-  let st = of_string ?base input in
+let parse_script ?base ?locate input =
+  let st = of_string ?base ?locate input in
   let rec go acc =
     match peek st with
     | Token.Eof -> List.rev acc

@@ -8,7 +8,7 @@ let pp_column ppf (c : Ast.column) =
 let rec pp_expr ppf = function
   | Ast.Col c -> pp_column ppf c
   | Ast.Lit v -> Value.pp_sql ppf v
-  | Ast.Host h -> Format.pp_print_string ppf h
+  | Ast.Host (h, _) -> Format.pp_print_string ppf h
   | Ast.Agg_of agg -> pp_agg_value ppf agg
 
 and pp_agg_value ppf = function
@@ -72,11 +72,12 @@ and pp_table_ref ppf (r : Ast.table_ref) =
   | Some a -> Format.fprintf ppf "%s %s" r.rel a
   | None -> Format.pp_print_string ppf r.rel
 
-and pp_select ppf (s : Ast.select) =
-  Format.fprintf ppf "SELECT %s%a FROM %a"
+and pp_select ?into ppf (s : Ast.select) =
+  Format.fprintf ppf "SELECT %s%a%s FROM %a"
     (if s.distinct then "DISTINCT " else "")
     (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_projection)
     s.projections
+    (match into with Some hosts -> " INTO " ^ hosts | None -> "")
     (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_table_ref)
     s.from;
   (match s.where with
@@ -187,6 +188,28 @@ let pp_statement ppf = function
         rel (String.concat ", " cols) target;
       if tcols <> [] then
         Format.fprintf ppf " (%s)" (String.concat ", " tcols)
+  | Ast.Select_into (targets, q) -> (
+      let hosts =
+        String.concat ", " (List.map (fun t -> t.Ast.hv_name) targets)
+      in
+      match q with
+      | Ast.Select s -> pp_select ~into:hosts ppf s
+      | q ->
+          (* set operations cannot legally carry INTO; degrade gracefully *)
+          Format.fprintf ppf "%a INTO %s" pp_query q hosts)
+  | Ast.Declare_cursor (c, q, _) ->
+      Format.fprintf ppf "DECLARE %s CURSOR FOR %a" c pp_query q
+  | Ast.Open_cursor (c, _) -> Format.fprintf ppf "OPEN %s" c
+  | Ast.Fetch (c, targets, _) ->
+      Format.fprintf ppf "FETCH %s INTO %s" c
+        (String.concat ", " (List.map (fun t -> t.Ast.hv_name) targets))
+  | Ast.Close_cursor (c, _) -> Format.fprintf ppf "CLOSE %s" c
+  | Ast.Create_view cv ->
+      Format.fprintf ppf "CREATE VIEW %s" cv.cv_name;
+      (match cv.cv_cols with
+      | Some cs -> Format.fprintf ppf " (%s)" (String.concat ", " cs)
+      | None -> ());
+      Format.fprintf ppf " AS %a" pp_query cv.cv_query
 
 let query_to_string q = Format.asprintf "%a" pp_query q
 let statement_to_string s = Format.asprintf "%a" pp_statement s

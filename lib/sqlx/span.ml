@@ -51,6 +51,24 @@ let advance base text n =
   in
   go 0 base
 
+let locator text =
+  (* offsets of the first character of every line, for offset -> base *)
+  let n = String.length text in
+  let starts = ref [ 0 ] in
+  for i = 0 to n - 1 do
+    if text.[i] = '\n' then starts := (i + 1) :: !starts
+  done;
+  let starts = Array.of_list (List.rev !starts) in
+  fun off ->
+    let off = max 0 (min off n) in
+    (* greatest line start <= off, by binary search *)
+    let lo = ref 0 and hi = ref (Array.length starts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if starts.(mid) <= off then lo := mid else hi := mid - 1
+    done;
+    { b_off = off; b_line = !lo + 1; b_col = off - starts.(!lo) + 1 }
+
 let rebase base t =
   if is_dummy t then t
   else

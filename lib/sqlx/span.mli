@@ -49,6 +49,13 @@ val advance : base -> string -> int -> base
     [text] from [b] (newlines reset the column). Used when an extractor
     trims a prefix off a fragment. *)
 
+val locator : string -> int -> base
+(** [locator text] precomputes the line structure of [text] and returns
+    a function mapping a byte offset to the {!base} at that offset
+    (offsets are clamped to [[0, length text]]). Used by {!Embedded} to
+    map fragment-relative offsets of a merged multi-literal dynamic-SQL
+    string back to exact host coordinates. *)
+
 val rebase : base -> t -> t
 (** Translate a fragment-relative span (as produced with {!base0}) onto
     the host coordinates of the given base. {!dummy} is preserved. *)

@@ -16,6 +16,7 @@ let keywords =
     "REFERENCES"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET"; "DELETE";
     "TRUE"; "FALSE"; "CONSTRAINT"; "CHECK"; "DEFAULT"; "JOIN"; "INNER";
     "ON"; "SUM"; "AVG"; "MIN"; "MAX"; "ALTER"; "ADD"; "DROP"; "COLUMN";
+    "DECLARE"; "CURSOR"; "OPEN"; "FETCH"; "CLOSE"; "VIEW"; "FOR";
   ]
 
 let keyword_set =

@@ -9,6 +9,7 @@ type spec = {
   payload_per_ref : int;
   rows_per_denorm : int;
   null_ref_rate : float;
+  flow_navigation : bool;
   seed : int64;
 }
 
@@ -21,6 +22,7 @@ let default_spec =
     payload_per_ref = 2;
     rows_per_denorm = 2000;
     null_ref_rate = 0.05;
+    flow_navigation = false;
     seed = 42L;
   }
 
@@ -41,6 +43,7 @@ type t = {
   truth : ground_truth;
   equijoins : Sqlx.Equijoin.t list;
   programs : string list;
+  dataflow_only_joins : Sqlx.Equijoin.t list;
 }
 
 let entity_name i = Printf.sprintf "E%d" i
@@ -152,15 +155,15 @@ let generate spec =
         Database.insert db dn cells
       done)
     targets;
-  (* application programs: one embedded-SQL navigation per reference *)
-  let programs =
-    List.concat
-      (List.mapi
-         (fun j tgt ->
-           List.mapi
-             (fun k entity ->
-               Printf.sprintf
-                 {|
+  (* application programs: one embedded-SQL navigation per reference.
+     The classic shape writes the join inside one statement; with
+     [flow_navigation] on, odd reference slots instead navigate through a
+     host variable across two statements (alternating SELECT INTO and
+     cursor style), so their join has zero single-statement witnesses and
+     only the dataflow analysis can recover it *)
+  let single_statement_program j k entity =
+    Printf.sprintf
+      {|
        PROCEDURE DIVISION.
            EXEC SQL
              SELECT %s
@@ -168,9 +171,62 @@ let generate spec =
              WHERE %s.%s = %s.%s
            END-EXEC.
 |}
-                 (entity_id entity) (denorm_name j) (entity_name entity)
-                 (denorm_name j) (ref_attr j k) (entity_name entity)
-                 (entity_id entity))
+      (entity_id entity) (denorm_name j) (entity_name entity) (denorm_name j)
+      (ref_attr j k) (entity_name entity) (entity_id entity)
+  in
+  let select_into_program j k entity =
+    Printf.sprintf
+      {|
+       PROCEDURE DIVISION.
+           EXEC SQL
+             SELECT %s
+             INTO :h-%d-%d
+             FROM %s
+             WHERE d%d_id = :w-row
+           END-EXEC.
+           EXEC SQL
+             SELECT e%d_name
+             FROM %s
+             WHERE %s = :h-%d-%d
+           END-EXEC.
+|}
+      (ref_attr j k) j k (denorm_name j) j entity (entity_name entity)
+      (entity_id entity) j k
+  in
+  let cursor_program j k entity =
+    Printf.sprintf
+      {|
+       PROCEDURE DIVISION.
+           EXEC SQL DECLARE CUR%d%d CURSOR FOR
+             SELECT %s FROM %s WHERE d%d_id > :w-low
+           END-EXEC.
+           EXEC SQL OPEN CUR%d%d END-EXEC.
+           EXEC SQL FETCH CUR%d%d INTO :h-%d-%d END-EXEC.
+           EXEC SQL
+             SELECT e%d_val FROM %s WHERE %s = :h-%d-%d
+           END-EXEC.
+           EXEC SQL CLOSE CUR%d%d END-EXEC.
+|}
+      j k (ref_attr j k) (denorm_name j) j j k j k j k entity
+      (entity_name entity) (entity_id entity) j k j k
+  in
+  let flow_only = ref [] in
+  let programs =
+    List.concat
+      (List.mapi
+         (fun j tgt ->
+           List.mapi
+             (fun k entity ->
+               if spec.flow_navigation && k mod 2 = 1 then begin
+                 flow_only :=
+                   Sqlx.Equijoin.make
+                     (denorm_name j, [ ref_attr j k ])
+                     (entity_name entity, [ entity_id entity ])
+                   :: !flow_only;
+                 if k mod 4 = 1 then select_into_program j k entity
+                 else cursor_program j k entity
+               end
+               else single_statement_program j k entity)
              tgt)
          targets)
   in
@@ -183,4 +239,5 @@ let generate spec =
       };
     equijoins = List.rev !equijoins;
     programs;
+    dataflow_only_joins = Sqlx.Equijoin.dedupe (List.rev !flow_only);
   }

@@ -19,12 +19,19 @@ type spec = {
   payload_per_ref : int;  (** embedded attributes per reference *)
   rows_per_denorm : int;
   null_ref_rate : float;  (** fraction of NULL references *)
+  flow_navigation : bool;
+      (** when true, odd reference slots navigate through a host
+          variable across two statements (alternating [SELECT … INTO]
+          and cursor style) instead of writing the join inside one
+          query: those joins have zero single-statement witnesses and
+          only {!Sqlx.Dataflow} can recover them *)
   seed : int64;
 }
 
 val default_spec : spec
 (** 4 entities × 1000 rows, 2 denorm relations with 3 refs × 2 payload
-    attributes and 2000 rows, 5% NULL refs, seed 42. *)
+    attributes and 2000 rows, 5% NULL refs, single-statement navigation
+    only, seed 42. *)
 
 val scale : float -> spec -> spec
 (** [scale f spec] multiplies the extension sizes ([rows_per_entity],
@@ -47,6 +54,12 @@ type t = {
           equi-join per planted reference *)
   programs : string list;
       (** embedded-SQL program sources realizing those equi-joins *)
+  dataflow_only_joins : Sqlx.Equijoin.t list;
+      (** the subset of [equijoins] realized only as host-variable
+          navigation across statements ([] unless
+          [spec.flow_navigation]) — the generator's ground truth for
+          what per-statement elicitation must miss and dataflow
+          analysis must find *)
 }
 
 val generate : spec -> t

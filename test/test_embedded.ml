@@ -65,8 +65,8 @@ let test_cursor_declaration () =
   in
   Alcotest.(check int) "cursor select parsed" 1 (List.length e.Embedded.statements);
   match e.Embedded.statements with
-  | [ Ast.Query (Ast.Select _) ] -> ()
-  | _ -> Alcotest.fail "expected the cursor's SELECT"
+  | [ Ast.Declare_cursor ("C1", Ast.Select _, _) ] -> ()
+  | _ -> Alcotest.fail "expected a parsed cursor declaration"
 
 let test_scan_files () =
   let e =

@@ -22,6 +22,7 @@ let gen_spec =
         payload_per_ref = 1;
         rows_per_denorm = rows;
         null_ref_rate = 0.1;
+        flow_navigation = false;
         seed = Int64.of_int seed;
       })
 

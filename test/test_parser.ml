@@ -127,7 +127,7 @@ let test_aggregates_group_order () =
 let test_host_variable () =
   let s = select_of (parse_q "SELECT a FROM R WHERE a = :w-emp") in
   match s.Ast.where with
-  | Some (Ast.Cmp (Ast.Eq, _, Ast.Host ":w-emp")) -> ()
+  | Some (Ast.Cmp (Ast.Eq, _, Ast.Host (":w-emp", _))) -> ()
   | _ -> Alcotest.fail "expected host variable"
 
 let test_create_table () =

@@ -23,6 +23,7 @@ let gen_spec =
         payload_per_ref = payload;
         rows_per_denorm = rows * 2;
         null_ref_rate = float_of_int null_pct /. 10.0;
+        flow_navigation = false;
         seed = Int64.of_int seed;
       })
 
