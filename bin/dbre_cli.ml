@@ -960,7 +960,8 @@ let submit_cmd =
 let job_cmd =
   let action_arg =
     let doc =
-      "'list', 'status', 'events', 'cancel', 'artifacts' or 'shutdown'."
+      "'list', 'status', 'events', 'cancel', 'artifacts', 'mutate', \
+       'refresh' or 'shutdown'."
     in
     Arg.(value & pos 0 string "list" & info [] ~docv:"ACTION" ~doc)
   in
@@ -968,7 +969,25 @@ let job_cmd =
     let doc = "Job id (returned by submit)." in
     Arg.(value & pos 1 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run socket action id =
+  let relation_arg =
+    let doc = "Relation to mutate (with the 'mutate' action)." in
+    Arg.(value & opt (some string) None & info [ "relation" ] ~docv:"NAME" ~doc)
+  in
+  let insert_arg =
+    let doc =
+      "Row to append, as comma-separated values typed like CSV ingestion \
+       (repeatable)."
+    in
+    Arg.(value & opt_all string [] & info [ "insert" ] ~docv:"ROW" ~doc)
+  in
+  let delete_arg =
+    let doc =
+      "Comma-separated row indices to delete (current numbering; applied \
+       before the inserts)."
+    in
+    Arg.(value & opt string "" & info [ "delete" ] ~docv:"IDXS" ~doc)
+  in
+  let run socket action id relation insert_rows delete_idxs =
     with_client socket @@ fun client ->
     let with_id f =
       match id with
@@ -1017,18 +1036,71 @@ let job_cmd =
             | Ok (artifacts, _) ->
                 print_artifacts artifacts;
                 0)
+    | "mutate" ->
+        with_id (fun id ->
+            match relation with
+            | None ->
+                Printf.eprintf "dbre: job mutate needs --relation\n";
+                1
+            | Some rel -> (
+                let insert =
+                  List.map
+                    (fun row ->
+                      List.map
+                        (fun cell -> Value.parse (String.trim cell))
+                        (String.split_on_char ',' row))
+                    insert_rows
+                in
+                match
+                  if delete_idxs = "" then Ok []
+                  else
+                    try
+                      Ok
+                        (List.map
+                           (fun s -> int_of_string (String.trim s))
+                           (String.split_on_char ',' delete_idxs))
+                    with Failure _ ->
+                      Error
+                        (Printf.sprintf "dbre: bad --delete %S" delete_idxs)
+                with
+                | Error msg ->
+                    prerr_endline msg;
+                    1
+                | Ok delete -> (
+                    match
+                      Dbre_serve.Client.mutate client ~insert ~delete id rel
+                    with
+                    | Error e -> protocol_error e
+                    | Ok (cardinality, version) ->
+                        Printf.printf "%s: %s now %d rows (version %d)\n" id
+                          rel cardinality version;
+                        0)))
+    | "refresh" ->
+        with_id (fun id ->
+            match Dbre_serve.Client.refresh client id with
+            | Error e -> protocol_error e
+            | Ok (report, state) ->
+                print_endline (Json.to_string report);
+                Printf.printf "%s: %s\n" id state;
+                if state = "done" then 0 else 1)
     | "shutdown" ->
         Dbre_serve.Client.shutdown client;
         0
     | other ->
         Printf.eprintf
           "dbre: unknown job action %S (use \
-           list|status|events|cancel|artifacts|shutdown)\n"
+           list|status|events|cancel|artifacts|mutate|refresh|shutdown)\n"
           other;
         1
   in
-  let doc = "Inspect or cancel jobs on a running analysis daemon." in
-  Cmd.v (Cmd.info "job" ~doc) Term.(const run $ socket_arg $ action_arg $ id_arg)
+  let doc =
+    "Inspect, cancel, mutate or delta-refresh jobs on a running analysis \
+     daemon."
+  in
+  Cmd.v (Cmd.info "job" ~doc)
+    Term.(
+      const run $ socket_arg $ action_arg $ id_arg $ relation_arg $ insert_arg
+      $ delete_arg)
 
 (* ------------------------------------------------------------------ *)
 

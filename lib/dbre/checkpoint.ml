@@ -375,6 +375,16 @@ let decode payload f = try Some (f payload) with _ -> None
 
 (* --- per-stage API --- *)
 
+(* Mutation makes every checkpointed stage stale at once (each one
+   embeds verdicts over the old extension), so refresh invalidates the
+   whole directory rather than cascading. *)
+let invalidate ~dir =
+  List.iter
+    (fun stage ->
+      let file = path ~dir stage in
+      if Sys.file_exists file then try Sys.remove file with Sys_error _ -> ())
+    [ Ind; Lhs; Rhs; Restruct; Translate ]
+
 let write_ind ~dir db (r : Ind_discovery.result) =
   let table_of rel =
     match Database.table_opt db rel.Relation.name with

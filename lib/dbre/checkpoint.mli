@@ -32,6 +32,13 @@ val path : dir:string -> stage -> string
 val ensure_dir : string -> unit
 (** Recursive [mkdir -p]; existing directories are fine. *)
 
+val invalidate : dir:string -> unit
+(** Delete every stage checkpoint in [dir]. Mutation makes all of them
+    stale at once (each embeds verdicts over the old extension), so a
+    refresh run must not resume from any of them. IO errors are
+    swallowed: worst case a stale file survives and is overwritten by
+    the re-run. *)
+
 val write_ind : dir:string -> Database.t -> Ind_discovery.result -> unit
 (** Conceptualized relations are stored {e with} their intersection
     extensions (read from [db]), so a resuming run can re-materialize

@@ -73,18 +73,35 @@ let load_failure e =
     p_error = e;
   }
 
-let run ?oracle ?(configure = Fun.id) ?progress ?supervise (spec : Job_spec.t)
-    =
+let verify ?oracle ?(configure = Fun.id) ?progress ?supervise ~db ~quarantine
+    (spec : Job_spec.t) =
+  let supervise =
+    match supervise with Some s -> s | None -> Job_spec.supervisor spec
+  in
+  let config = configure (config ?oracle ?progress spec) in
+  let resume_from =
+    if spec.Job_spec.resume then spec.Job_spec.checkpoint_dir else None
+  in
+  Pipeline.run_checked ~config ~supervise ~quarantine
+    ?checkpoint_dir:spec.Job_spec.checkpoint_dir ?resume_from db
+    spec.Job_spec.workload
+
+let run ?oracle ?configure ?progress ?supervise (spec : Job_spec.t) =
   let supervise =
     match supervise with Some s -> s | None -> Job_spec.supervisor spec
   in
   match database ~supervise ?progress spec with
   | Error e -> Error (load_failure e)
   | Ok (db, quarantine) ->
-      let config = configure (config ?oracle ?progress spec) in
-      let resume_from =
-        if spec.Job_spec.resume then spec.Job_spec.checkpoint_dir else None
-      in
-      Pipeline.run_checked ~config ~supervise ~quarantine
-        ?checkpoint_dir:spec.Job_spec.checkpoint_dir ?resume_from db
-        spec.Job_spec.workload
+      verify ?oracle ?configure ?progress ~supervise ~db ~quarantine spec
+
+let refresh ?oracle ?(configure = Fun.id) ?progress ?supervise ~db ~quarantine
+    (spec : Job_spec.t) =
+  let supervise =
+    match supervise with Some s -> s | None -> Job_spec.supervisor spec
+  in
+  let config = configure (config ?oracle ?progress spec) in
+  (* never resume: refresh_checked invalidates the checkpoint directory
+     (mutation staled every stage artifact at once) *)
+  Pipeline.refresh_checked ~config ~supervise ~quarantine
+    ?checkpoint_dir:spec.Job_spec.checkpoint_dir db spec.Job_spec.workload

@@ -35,6 +35,35 @@ val config :
     spec's serialized oracle {e mode} with a live value — how the CLI
     injects an interactive oracle that cannot travel in a spec. *)
 
+val verify :
+  ?oracle:Oracle.t ->
+  ?configure:(Pipeline.config -> Pipeline.config) ->
+  ?progress:(event -> unit) ->
+  ?supervise:Supervise.t ->
+  db:Database.t ->
+  quarantine:Quarantine.report list ->
+  Job_spec.t ->
+  (Pipeline.result, Pipeline.partial) result
+(** The verification half of {!run}: {!Pipeline.run_checked} over an
+    already-loaded database under the spec's config, checkpoint and
+    resume options. Callers that retain the database (the analysis
+    daemon) use this to re-verify without reloading. *)
+
+val refresh :
+  ?oracle:Oracle.t ->
+  ?configure:(Pipeline.config -> Pipeline.config) ->
+  ?progress:(event -> unit) ->
+  ?supervise:Supervise.t ->
+  db:Database.t ->
+  quarantine:Quarantine.report list ->
+  Job_spec.t ->
+  Refresh.report * (Pipeline.result, Pipeline.partial) result
+(** Re-verify after mutation: {!Pipeline.refresh_checked} over the
+    retained database — one coordinated delta pass over every memoized
+    store, checkpoint invalidation, then the verification stages rerun
+    (never resumed). Artifacts are byte-identical to re-running the job
+    from scratch on the mutated extension. *)
+
 val run :
   ?oracle:Oracle.t ->
   ?configure:(Pipeline.config -> Pipeline.config) ->
@@ -42,7 +71,7 @@ val run :
   ?supervise:Supervise.t ->
   Job_spec.t ->
   (Pipeline.result, Pipeline.partial) result
-(** [database] then {!Pipeline.run_checked}, threading quarantine
+(** [database] then {!verify}, threading quarantine
     reports, checkpoint/resume directories and the supervision token
     (default: {!Job_spec.supervisor}, i.e. the engine budget plus the
     spec's [fuel]). A load failure is reported as [Error partial] with

@@ -320,6 +320,21 @@ let run ?config ?supervise ?quarantine ?checkpoint_dir ?resume_from db input =
   | Ok r -> r
   | Stdlib.Error p -> raise (Error.Error p.p_error)
 
+let refresh_checked ?(config = default_config) ?supervise ?quarantine
+    ?checkpoint_dir db input =
+  let report =
+    Refresh.database ~delta_fraction:config.engine.Engine.delta_fraction db
+  in
+  (* every checkpointed stage embeds verdicts over the pre-mutation
+     extension; none may be resumed from *)
+  (match checkpoint_dir with
+  | None -> ()
+  | Some dir -> Checkpoint.invalidate ~dir);
+  let result =
+    run_checked ~config ?supervise ?quarantine ?checkpoint_dir db input
+  in
+  (report, result)
+
 type degradation = {
   deg_relation : string;
   deg_quarantined : int;

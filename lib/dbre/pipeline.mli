@@ -151,6 +151,24 @@ val run_checked :
     upstream are reused — so the resumed artifacts are identical to an
     unbudgeted run's. *)
 
+val refresh_checked :
+  ?config:config ->
+  ?supervise:Supervise.t ->
+  ?quarantine:Quarantine.report list ->
+  ?checkpoint_dir:string ->
+  Database.t ->
+  input ->
+  Refresh.report * (result, partial) Stdlib.result
+(** Re-verify a database that has mutated since a previous run: one
+    coordinated delta pass brings every memoized store up to date
+    ({!Refresh.database}, honoring the engine's [delta_fraction]), the
+    checkpoint directory is invalidated (every stage artifact embeds
+    verdicts over the old extension — see {!Checkpoint.invalidate}),
+    then {!run_checked} re-runs the stages without resuming. The
+    re-verification reuses every memo a mutation provably could not
+    flip, so its artifacts are byte-identical to a full
+    recompute-from-scratch over the mutated extension — only faster. *)
+
 val run :
   ?config:config ->
   ?supervise:Supervise.t ->

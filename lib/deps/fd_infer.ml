@@ -28,15 +28,18 @@ let holds_partition table (fd : Fd.t) =
   in
   Partition.fd_holds ~lhs:p_lhs ~lhs_rhs:p_both
 
-let holds_columnar table (fd : Fd.t) =
-  Column_store.fd_holds (Column_store.of_table table) ~lhs:fd.lhs ~rhs:fd.rhs
+let holds_columnar ?delta_fraction table (fd : Fd.t) =
+  Column_store.fd_holds
+    (Column_store.of_table ?delta_fraction table)
+    ~lhs:fd.lhs ~rhs:fd.rhs
 
 let holds ?(engine = Engine.default) table fd =
   match engine.Engine.check with
   | Engine.Naive -> holds_naive table fd
   | Engine.Partition -> holds_partition table fd
   | Engine.Columnar ->
-      if Engine.cached engine then holds_columnar table fd
+      if Engine.cached engine then
+        holds_columnar ~delta_fraction:engine.Engine.delta_fraction table fd
       else
         Column_store.fd_holds (Column_store.build table) ~lhs:fd.Fd.lhs
           ~rhs:fd.Fd.rhs

@@ -14,10 +14,12 @@ val holds_naive : Table.t -> Fd.t -> bool
 val holds_partition : Table.t -> Fd.t -> bool
 (** The TANE criterion [e(X) = e(X ∪ Y)] over stripped partitions. *)
 
-val holds_columnar : Table.t -> Fd.t -> bool
+val holds_columnar : ?delta_fraction:float -> Table.t -> Fd.t -> bool
 (** Check against the table's memoized {!Column_store}: the stripped
     LHS partition and the verdict itself are cached, so repeated checks
-    after the first are O(1) until the table changes. *)
+    after the first are O(1) until the table changes — after which the
+    store delta-refreshes itself (within [delta_fraction], see
+    {!Column_store.of_table}) instead of rebuilding. *)
 
 val holds : ?engine:Engine.t -> Table.t -> Fd.t -> bool
 (** Dispatch on [engine.check] ({!Engine.default} — columnar with

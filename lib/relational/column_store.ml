@@ -11,6 +11,10 @@ type column = {
   codes : int array;  (* per row; 0 is the reserved NULL code *)
   dict : Value.t array;  (* code -> value; dict.(0) = Null *)
   nulls : int;  (* rows holding NULL in this column *)
+  exact_dict : bool;
+      (* every dict code >= 1 still occurs in [codes]; incremental
+         deletes leave dead dictionary entries behind and clear this,
+         sending single-attribute distinct reads through the codes *)
 }
 
 type partition = { groups : int array array; p_rows : int }
@@ -23,16 +27,43 @@ type stats = {
   join_counts : int;
 }
 
+(* Retained state of a completed fused FD sweep (see [sweep_fused]):
+   the LHS key -> group-id tables plus, per surviving (true-verdict)
+   RHS attribute, the per-group representative value. Enough to
+   re-check a verdict against appended rows in O(delta) — each new row
+   either joins an existing group (compare against the representative)
+   or founds a new one (seed it). Dropped on any delete: group
+   emptiness is not tracked, so a deletion could leave a stale
+   representative behind. *)
+type group_keys =
+  | Scalar_keys of (int, int) Hashtbl.t * (Value.t, int) Hashtbl.t
+      (* single-attribute LHS: unboxed Int fast path + boxed rest *)
+  | Tuple_keys of (Value.t list, int) Hashtbl.t
+
+type sweep_state = {
+  mutable sw_groups : int;
+  sw_keys : group_keys;
+  sw_lhs_pos : int array;
+  sw_reprs : (string, Value.t array ref) Hashtbl.t;
+      (* rhs attr -> representative per group id; grown on demand *)
+}
+
 type t = {
-  table : Table.t;
-  uid : int;  (* globally unique per store instance: cross-store keys *)
-  built_version : int;
-  n_rows : int;
+  mutable table : Table.t;
+  mutable uid : int;  (* unique per store content: cross-store keys *)
+  mutable built_version : int;
+  mutable n_rows : int;
   columns : column option array;  (* by attribute position, lazy *)
+  interns : (Value.t, int) Hashtbl.t option array;
+      (* per-column value -> code, retained (or lazily rebuilt from the
+         dictionary) so appended rows intern in O(1) per cell *)
+  memoized : bool;  (* stashed in Table.ext: worth retaining interns
+                       and sweep states for incremental refresh *)
   distinct_sets : (string list, (Value.t list, unit) Hashtbl.t) Hashtbl.t;
   witnesses : (string list, int) Hashtbl.t;  (* NULL-free rows per attrs *)
   partitions : (string list, partition) Hashtbl.t;
   fd_verdicts : (string list * string list, bool) Hashtbl.t;
+  fd_sweeps : (string list, sweep_state) Hashtbl.t;
   join_counts : (string list * int * string list, int) Hashtbl.t;
 }
 
@@ -40,29 +71,51 @@ type Table.ext += Store of t
 
 let uid_counter = Atomic.make 0
 
-let build table =
+(* process-wide delta-maintenance counters, surfaced by
+   [Engine.describe] and the serve job status *)
+type delta_stats = {
+  rows_absorbed : int;
+  incremental_refreshes : int;
+  full_rebuilds : int;
+}
+
+let absorbed_ctr = Atomic.make 0
+let incremental_ctr = Atomic.make 0
+let rebuild_ctr = Atomic.make 0
+
+let delta_stats () =
+  {
+    rows_absorbed = Atomic.get absorbed_ctr;
+    incremental_refreshes = Atomic.get incremental_ctr;
+    full_rebuilds = Atomic.get rebuild_ctr;
+  }
+
+let reset_delta_stats () =
+  Atomic.set absorbed_ctr 0;
+  Atomic.set incremental_ctr 0;
+  Atomic.set rebuild_ctr 0
+
+let default_delta_fraction = 0.25
+
+let make_store ~memoized table =
+  let arity = Relation.arity (Table.schema table) in
   {
     table;
     uid = Atomic.fetch_and_add uid_counter 1;
     built_version = Table.version table;
     n_rows = Table.cardinality table;
-    columns = Array.make (Relation.arity (Table.schema table)) None;
+    columns = Array.make arity None;
+    interns = Array.make arity None;
+    memoized;
     distinct_sets = Hashtbl.create 8;
     witnesses = Hashtbl.create 8;
     partitions = Hashtbl.create 8;
     fd_verdicts = Hashtbl.create 16;
+    fd_sweeps = Hashtbl.create 8;
     join_counts = Hashtbl.create 8;
   }
 
-(* the memoized store: stashed in the table's extension-cache slot,
-   which inserts clear — so a retrieved store is never stale *)
-let of_table table =
-  match Table.ext_cache table with
-  | Some (Store s) -> s
-  | _ ->
-      let s = build table in
-      Table.set_ext_cache table (Store s);
-      s
+let build table = make_store ~memoized:false table
 
 let table t = t.table
 let table_version t = t.built_version
@@ -93,7 +146,11 @@ let encode t pos =
             rev_dict := v :: !rev_dict;
             codes.(i) <- c)
     rows;
-  { codes; dict = Array.of_list (List.rev !rev_dict); nulls = !nulls }
+  ( { codes;
+      dict = Array.of_list (List.rev !rev_dict);
+      nulls = !nulls;
+      exact_dict = true },
+    intern )
 
 let pos_of t a =
   try Relation.attr_index (Table.schema t.table) a
@@ -102,14 +159,18 @@ let pos_of t a =
       (Printf.sprintf "Column_store(%s): unknown attribute %s"
          (Table.schema t.table).Relation.name a)
 
+(* memoized stores keep the encode pass's intern table so appended
+   rows can extend the dictionary in O(1) per cell *)
+let stash_encoded t pos (c, intern) =
+  t.columns.(pos) <- Some c;
+  if t.memoized then t.interns.(pos) <- Some intern;
+  c
+
 let column t a =
   let pos = pos_of t a in
   match t.columns.(pos) with
   | Some c -> c
-  | None ->
-      let c = encode t pos in
-      t.columns.(pos) <- Some c;
-      c
+  | None -> stash_encoded t pos (encode t pos)
 
 let columns t attrs = Array.of_list (List.map (column t) attrs)
 
@@ -130,17 +191,18 @@ let ensure_columns ?pool t attrs =
   in
   match missing with
   | [] -> ()
-  | [ p ] -> t.columns.(p) <- Some (encode t p)
+  | [ p ] -> ignore (stash_encoded t p (encode t p))
   | ps -> (
       let ps = Array.of_list ps in
       match pool with
       | Some pool when Domain_pool.size pool > 1 ->
           (* force the table's row-array cache on the submitting domain
-             so workers only read it *)
+             so workers only read it; workers return their results and
+             only the submitter writes store slots *)
           ignore (Table.rows t.table);
           let encoded = Domain_pool.map_array pool (fun p -> encode t p) ps in
-          Array.iteri (fun i p -> t.columns.(p) <- Some encoded.(i)) ps
-      | _ -> Array.iter (fun p -> t.columns.(p) <- Some (encode t p)) ps)
+          Array.iteri (fun i p -> ignore (stash_encoded t p encoded.(i))) ps
+      | _ -> Array.iter (fun p -> ignore (stash_encoded t p (encode t p))) ps)
 
 (* ------------------------------------------------------------------ *)
 (* distinct sets                                                       *)
@@ -155,10 +217,22 @@ let decode cols code_list =
 let compute_distinct t attrs =
   match attrs with
   | [ a ] ->
-      (* single column: the dictionary is the distinct set; no row pass *)
+      (* single column: the dictionary is the distinct set; no row
+         pass — unless incremental deletes left dead entries behind,
+         in which case one pass over the codes finds the live ones *)
       let c = column t a in
       let set = Hashtbl.create (max 16 (Array.length c.dict)) in
-      Array.iteri (fun code v -> if code > 0 then Hashtbl.add set [ v ] ()) c.dict;
+      if c.exact_dict then
+        Array.iteri
+          (fun code v -> if code > 0 then Hashtbl.add set [ v ] ())
+          c.dict
+      else begin
+        let live = Array.make (Array.length c.dict) false in
+        Array.iter (fun code -> live.(code) <- true) c.codes;
+        Array.iteri
+          (fun code v -> if code > 0 && live.(code) then Hashtbl.add set [ v ] ())
+          c.dict
+      end;
       (set, t.n_rows - c.nulls)
   | _ ->
       let cols = columns t attrs in
@@ -491,8 +565,16 @@ let sweep_all rows (gid : int array) n_groups (positions : int array) =
    representative) and compared in place against the live candidates'
    representatives. Saves a full second pass over the rows compared to
    [lhs_gid] + [sweep_all]; used on the sequential path when no
-   memoized partition is available. *)
-let sweep_fused t lhs rows (positions : int array) =
+   memoized partition is available.
+
+   With [?retain] (the RHS attribute names aligned with [positions]),
+   a completed pass with at least one surviving candidate leaves its
+   key tables and the survivors' representative arrays behind as the
+   LHS's [sweep_state] — the structure the delta passes re-check
+   appended rows against. A pass that early-exited (every candidate
+   refuted) retains nothing: its key tables are incomplete, and there
+   is no true verdict to maintain. *)
+let sweep_fused ?retain t lhs rows (positions : int array) =
   let m = Array.length positions in
   let verdict = Array.make m true in
   (* group count is unknown until the pass ends; n_rows bounds it *)
@@ -501,6 +583,7 @@ let sweep_fused t lhs rows (positions : int array) =
   let live = Array.init m Fun.id in
   let n_live = ref m in
   let next = ref 0 in
+  let keys_out = ref None in
   let seed tup g =
     for j = 0 to !n_live - 1 do
       let k = live.(j) in
@@ -533,6 +616,7 @@ let sweep_fused t lhs rows (positions : int array) =
         Hashtbl.create (max 16 (t.n_rows / 4))
       in
       let ids : (Value.t, int) Hashtbl.t = Hashtbl.create 16 in
+      keys_out := Some (Scalar_keys (int_ids, ids));
       let row = ref 0 in
       while !n_live > 0 && !row < t.n_rows do
         let tup = rows.(!row) in
@@ -561,6 +645,7 @@ let sweep_fused t lhs rows (positions : int array) =
       let ids : (Value.t list, int) Hashtbl.t =
         Hashtbl.create (max 16 (t.n_rows / 4))
       in
+      keys_out := Some (Tuple_keys ids);
       let row = ref 0 in
       while !n_live > 0 && !row < t.n_rows do
         let tup = rows.(!row) in
@@ -580,6 +665,23 @@ let sweep_fused t lhs rows (positions : int array) =
                seed tup g);
         incr row
       done);
+  (match (retain, !keys_out) with
+  | Some names, Some keys when !n_live > 0 ->
+      (* survivors were live for the whole pass, so every group's
+         representative is seeded for them; trim to the group count *)
+      let reprs = Hashtbl.create (max 4 !n_live) in
+      for j = 0 to !n_live - 1 do
+        let k = live.(j) in
+        Hashtbl.replace reprs names.(k) (ref (Array.sub repr.(k) 0 !next))
+      done;
+      Hashtbl.replace t.fd_sweeps lhs
+        {
+          sw_groups = !next;
+          sw_keys = keys;
+          sw_lhs_pos = Array.of_list (List.map (pos_of t) lhs);
+          sw_reprs = reprs;
+        }
+  | _ -> ());
   verdict
 
 (* The batched FD check: one LHS partition pass answers every RHS
@@ -622,7 +724,13 @@ let fd_batch ?pool t ~lhs ~rhs =
             if Hashtbl.mem t.partitions lhs then
               let gid, n_groups = lhs_gid t lhs in
               sweep_all rows gid n_groups positions
-            else sweep_fused t lhs rows positions
+            else
+              let retain =
+                if t.memoized then
+                  Some (Array.map (fun i -> rhs_arr.(i)) misses)
+                else None
+              in
+              sweep_fused ?retain t lhs rows positions
       in
       Array.iteri (fun k i -> verdicts.(i) <- res.(k)) misses;
       Array.iter
@@ -668,6 +776,454 @@ let stats t =
     fd_verdicts = Hashtbl.length t.fd_verdicts;
     join_counts = Hashtbl.length t.join_counts;
   }
+
+(* ------------------------------------------------------------------ *)
+(* incremental refresh (delta maintenance)                             *)
+(* ------------------------------------------------------------------ *)
+
+type refresh_outcome =
+  | Store_fresh
+  | Store_absorbed of int
+  | Store_rebuilt
+
+(* What an incremental refresh did to this store's distinct sets —
+   the evidence coordinated join-count patching needs. *)
+type refresh_summary =
+  | Sum_unchanged
+  | Sum_appended of (string list * Value.t list list) list
+      (* per memoized attribute list, the keys newly added *)
+  | Sum_invalidated
+
+let intern_of t pos =
+  match t.interns.(pos) with
+  | Some h -> h
+  | None ->
+      (* Builder-made stores arrive without intern tables: rebuild one
+         from the dictionary in O(|dict|). Dead entries (post-delete)
+         intern back to their old code, which revives them exactly. *)
+      let h = Hashtbl.create 256 in
+      (match t.columns.(pos) with
+      | Some c ->
+          Array.iteri
+            (fun code v -> if code > 0 then Hashtbl.replace h v code)
+            c.dict
+      | None -> ());
+      t.interns.(pos) <- Some h;
+      h
+
+(* extend one encoded column with appended rows: intern each cell
+   (extending the dictionary on first sight), append the codes *)
+let extend_column t pos col tups =
+  let k = Array.length tups in
+  let n0 = Array.length col.codes in
+  let codes = Array.make (n0 + k) 0 in
+  Array.blit col.codes 0 codes 0 n0;
+  let intern = intern_of t pos in
+  let rev_new = ref [] in
+  let next = ref (Array.length col.dict) in
+  let nulls = ref col.nulls in
+  Array.iteri
+    (fun i tup ->
+      let v = tup.(pos) in
+      if Value.is_null v then incr nulls
+      else
+        match Hashtbl.find_opt intern v with
+        | Some c -> codes.(n0 + i) <- c
+        | None ->
+            let c = !next in
+            incr next;
+            Hashtbl.add intern v c;
+            rev_new := v :: !rev_new;
+            codes.(n0 + i) <- c)
+    tups;
+  let dict =
+    match !rev_new with
+    | [] -> col.dict
+    | l -> Array.append col.dict (Array.of_list (List.rev l))
+  in
+  { codes; dict; nulls = !nulls; exact_dict = col.exact_dict }
+
+(* drop the deleted row positions from the codes (dictionary kept:
+   entries may go dead, so the exact-dict invariant is lost) *)
+let compact_column col idxs =
+  let k = Array.length idxs in
+  let n0 = Array.length col.codes in
+  let codes = Array.make (n0 - k) 0 in
+  let nulls = ref col.nulls in
+  let j = ref 0 and d = ref 0 in
+  for i = 0 to n0 - 1 do
+    if !d < k && idxs.(!d) = i then begin
+      if col.codes.(i) = 0 then decr nulls;
+      incr d
+    end
+    else begin
+      codes.(!j) <- col.codes.(i);
+      incr j
+    end
+  done;
+  { codes; dict = col.dict; nulls = !nulls; exact_dict = false }
+
+(* NULL-free value projection, in attribute order *)
+let project_opt (poss : int array) tup =
+  let rec go j acc =
+    if j < 0 then Some acc
+    else
+      let v = tup.(poss.(j)) in
+      if Value.is_null v then None else go (j - 1) (v :: acc)
+  in
+  go (Array.length poss - 1) []
+
+let repr_ensure r n =
+  let len = Array.length !r in
+  if n > len then begin
+    let a = Array.make (max n (max 16 (2 * len))) Value.Null in
+    Array.blit !r 0 a 0 len;
+    r := a
+  end
+
+(* Advance one retained sweep state over appended rows: each row joins
+   its LHS group (founding and seeding a fresh one on a new key) and is
+   compared against every tracked attribute's representative; the
+   returned table names the attributes that saw a disagreement. Key
+   routing mirrors [sweep_fused] exactly (Int fast path, NULL-LHS rows
+   exempt), so the advanced state is indistinguishable from a fresh
+   full sweep over the extended extension. *)
+let advance_sweep_state t st tups =
+  let flipped : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let attrs =
+    Hashtbl.fold (fun a r acc -> (a, pos_of t a, r) :: acc) st.sw_reprs []
+  in
+  let existing tup g =
+    List.iter
+      (fun (a, pos, r) ->
+        let v = tup.(pos) in
+        let rv = (!r).(g) in
+        if not (rv == v || Value.equal rv v) then Hashtbl.replace flipped a ())
+      attrs
+  in
+  let fresh tup g =
+    List.iter
+      (fun (_, pos, r) ->
+        repr_ensure r (g + 1);
+        (!r).(g) <- tup.(pos))
+      attrs
+  in
+  let next () =
+    let g = st.sw_groups in
+    st.sw_groups <- g + 1;
+    g
+  in
+  Array.iter
+    (fun tup ->
+      match st.sw_keys with
+      | Scalar_keys (int_ids, ids) -> (
+          match tup.(st.sw_lhs_pos.(0)) with
+          | Value.Int x -> (
+              match Hashtbl.find_opt int_ids x with
+              | Some g -> existing tup g
+              | None ->
+                  let g = next () in
+                  Hashtbl.add int_ids x g;
+                  fresh tup g)
+          | v ->
+              if not (Value.is_null v) then (
+                match Hashtbl.find_opt ids v with
+                | Some g -> existing tup g
+                | None ->
+                    let g = next () in
+                    Hashtbl.add ids v g;
+                    fresh tup g))
+      | Tuple_keys ids -> (
+          match project_opt st.sw_lhs_pos tup with
+          | None -> ()
+          | Some key -> (
+              match Hashtbl.find_opt ids key with
+              | Some g -> existing tup g
+              | None ->
+                  let g = next () in
+                  Hashtbl.add ids key g;
+                  fresh tup g)))
+    tups;
+  flipped
+
+(* The verdict short-circuits of the delta pass:
+   - a FALSE verdict survives any append (extra rows cannot repair a
+     violated FD); it is re-checked in O(delta) only if TRUE;
+   - a TRUE verdict survives any delete (an FD holding on a superset
+     holds on the subset); FALSE verdicts are dropped on delete.
+   TRUE verdicts under appends are re-checked against the retained
+   sweep state; those without one (pool sweeps, partition-path sweeps,
+   [fd_holds]-path verdicts) are dropped and recomputed on demand. *)
+let recheck_fd_verdicts t tups =
+  let flips : (string list, (string, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Hashtbl.iter
+    (fun lhs st -> Hashtbl.replace flips lhs (advance_sweep_state t st tups))
+    t.fd_sweeps;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fd_verdicts [] in
+  List.iter
+    (fun (((lhs, rhs) as key), v) ->
+      if v then
+        match Hashtbl.find_opt t.fd_sweeps lhs with
+        | None -> Hashtbl.remove t.fd_verdicts key
+        | Some st ->
+            if List.for_all (fun a -> Hashtbl.mem st.sw_reprs a) rhs then begin
+              let fl = Hashtbl.find flips lhs in
+              if List.exists (fun a -> Hashtbl.mem fl a) rhs then
+                Hashtbl.replace t.fd_verdicts key false
+            end
+            else Hashtbl.remove t.fd_verdicts key)
+    entries
+
+(* patch every memoized distinct set and witness count with the
+   appended rows; per attribute list, the newly-added keys feed the
+   coordinated join-count patch *)
+let patch_distinct_append t tups =
+  let sets =
+    Hashtbl.fold (fun attrs set acc -> (attrs, set) :: acc) t.distinct_sets []
+  in
+  List.map
+    (fun (attrs, set) ->
+      let poss = Array.of_list (List.map (pos_of t) attrs) in
+      let added = ref [] in
+      let fresh_witnesses = ref 0 in
+      Array.iter
+        (fun tup ->
+          match project_opt poss tup with
+          | None -> ()
+          | Some key ->
+              incr fresh_witnesses;
+              if not (Hashtbl.mem set key) then begin
+                Hashtbl.add set key ();
+                added := key :: !added
+              end)
+        tups;
+      (match Hashtbl.find_opt t.witnesses attrs with
+      | Some w -> Hashtbl.replace t.witnesses attrs (w + !fresh_witnesses)
+      | None -> ());
+      (attrs, !added))
+    sets
+
+let apply_delta t ~summary delta =
+  match delta with
+  | Table.Rows_appended tups ->
+      Array.iteri
+        (fun pos c ->
+          match c with
+          | Some col -> t.columns.(pos) <- Some (extend_column t pos col tups)
+          | None -> ())
+        t.columns;
+      let added = patch_distinct_append t tups in
+      recheck_fd_verdicts t tups;
+      (* stripped partitions are not patched in place: group membership
+         arrays would need per-key indexes kept alive; they rebuild
+         lazily on next demand instead *)
+      Hashtbl.reset t.partitions;
+      t.n_rows <- t.n_rows + Array.length tups;
+      (match !summary with
+      | `Appended acc -> summary := `Appended (added :: acc)
+      | `Invalidated -> ())
+  | Table.Rows_deleted (idxs, _removed) ->
+      Array.iteri
+        (fun pos c ->
+          match c with
+          | Some col -> t.columns.(pos) <- Some (compact_column col idxs)
+          | None -> ())
+        t.columns;
+      (* value-derived memos are dropped wholesale; only verdicts a
+         deletion provably cannot flip survive *)
+      Hashtbl.reset t.distinct_sets;
+      Hashtbl.reset t.witnesses;
+      Hashtbl.reset t.partitions;
+      Hashtbl.reset t.fd_sweeps;
+      let entries =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fd_verdicts []
+      in
+      List.iter
+        (fun (k, v) -> if not v then Hashtbl.remove t.fd_verdicts k)
+        entries;
+      t.n_rows <- t.n_rows - Array.length idxs;
+      summary := `Invalidated
+
+let delta_size = function
+  | Table.Rows_appended tups -> Array.length tups
+  | Table.Rows_deleted (idxs, _) -> Array.length idxs
+
+let total_delta_rows ds = List.fold_left (fun acc d -> acc + delta_size d) 0 ds
+
+let rebuild_in_place t table =
+  t.table <- table;
+  t.uid <- Atomic.fetch_and_add uid_counter 1;
+  t.built_version <- Table.version table;
+  t.n_rows <- Table.cardinality table;
+  Array.fill t.columns 0 (Array.length t.columns) None;
+  Array.fill t.interns 0 (Array.length t.interns) None;
+  Hashtbl.reset t.distinct_sets;
+  Hashtbl.reset t.witnesses;
+  Hashtbl.reset t.partitions;
+  Hashtbl.reset t.fd_verdicts;
+  Hashtbl.reset t.fd_sweeps;
+  Hashtbl.reset t.join_counts;
+  Atomic.incr rebuild_ctr
+
+(* Refresh a stale store in place by replaying the table's mutation
+   log — incrementally when the delta stays within [delta_fraction] of
+   the extension (and the log can still replay), by full rebuild
+   otherwise. [coordinated] callers ([refresh_all]) patch cross-store
+   join memos themselves from the returned summary; the uncoordinated
+   path drops this store's own join memos. Either way a changed store
+   renews its uid, so a foreign memo keyed on the old identity can
+   never be served stale. *)
+let refresh_in_place ?(delta_fraction = default_delta_fraction) ~coordinated t
+    table =
+  let version = Table.version table in
+  if t.built_version = version then begin
+    t.table <- table;
+    (Store_fresh, Sum_unchanged)
+  end
+  else begin
+    let deltas = Table.deltas_since table t.built_version in
+    let budget =
+      delta_fraction
+      *. float_of_int (max 1 (max t.n_rows (Table.cardinality table)))
+    in
+    match deltas with
+    | Some ds when float_of_int (total_delta_rows ds) <= budget ->
+        let n = total_delta_rows ds in
+        let summary = ref (`Appended []) in
+        List.iter (fun d -> apply_delta t ~summary d) ds;
+        t.table <- table;
+        t.built_version <- version;
+        t.uid <- Atomic.fetch_and_add uid_counter 1;
+        if not coordinated then Hashtbl.reset t.join_counts;
+        Atomic.incr incremental_ctr;
+        ignore (Atomic.fetch_and_add absorbed_ctr n);
+        let sum =
+          match !summary with
+          | `Invalidated -> Sum_invalidated
+          | `Appended batches ->
+              let merged : (string list, Value.t list list ref) Hashtbl.t =
+                Hashtbl.create 8
+              in
+              List.iter
+                (List.iter (fun (attrs, keys) ->
+                     match Hashtbl.find_opt merged attrs with
+                     | Some cell -> cell := keys @ !cell
+                     | None -> Hashtbl.add merged attrs (ref keys)))
+                batches;
+              Sum_appended
+                (Hashtbl.fold (fun attrs cell acc -> (attrs, !cell) :: acc)
+                   merged [])
+        in
+        (Store_absorbed n, sum)
+    | _ ->
+        rebuild_in_place t table;
+        (Store_rebuilt, Sum_invalidated)
+  end
+
+(* the memoized store: stashed in the table's extension-cache slot. A
+   stale store refreshes itself in place before it is returned, so a
+   retrieved store is never stale — the structural invalidation the
+   ext-clear used to provide, now at delta cost instead of full loss. *)
+let of_table ?delta_fraction table =
+  match Table.ext_cache table with
+  | Some (Store s) ->
+      if s.built_version <> Table.version table then
+        ignore (refresh_in_place ?delta_fraction ~coordinated:false s table)
+      else s.table <- table;
+      s
+  | _ ->
+      let s = make_store ~memoized:true table in
+      Table.set_ext_cache table (Store s);
+      s
+
+let refresh ?delta_fraction table =
+  match Table.ext_cache table with
+  | Some (Store s) ->
+      Some (fst (refresh_in_place ?delta_fraction ~coordinated:false s table))
+  | _ -> None
+
+let refresh_all ?delta_fraction tables =
+  (* pass 1: refresh every stashed store, remembering its old uid *)
+  let items =
+    List.map
+      (fun tbl ->
+        match Table.ext_cache tbl with
+        | Some (Store s) ->
+            let old_uid = s.uid in
+            let outcome, summary =
+              refresh_in_place ?delta_fraction ~coordinated:true s tbl
+            in
+            Some (s, old_uid, outcome, summary)
+        | _ -> None)
+      tables
+  in
+  (* pass 2: patch every join memo across the refreshed stores. A memo
+     keys (attrs1, peer uid, attrs2); the peer's old uid finds its
+     refreshed store, the patched count is rekeyed under the peer's
+     renewed uid. The exact delta is |A1 ∩ d2| + |{k ∈ A2 : k ∈ d1 and
+     k ∉ A1}| where A_i are the newly-added keys and d_i the patched
+     distinct sets. Entries touching a store outside this set, or a
+     side whose summary was invalidated, are dropped and recomputed on
+     demand from the patched distinct sets. *)
+  let registry = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Some (s, old_uid, _, summary) ->
+          Hashtbl.replace registry old_uid (s, summary)
+      | None -> ())
+    items;
+  let added_of summary attrs =
+    match summary with
+    | Sum_unchanged -> Some []
+    | Sum_appended l -> List.assoc_opt attrs l
+    | Sum_invalidated -> None
+  in
+  List.iter
+    (function
+      | None -> ()
+      | Some (s, _, _, sum1) ->
+          let entries =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.join_counts []
+          in
+          Hashtbl.reset s.join_counts;
+          List.iter
+            (fun ((a1, peer_uid, a2), n) ->
+              match Hashtbl.find_opt registry peer_uid with
+              | None -> ()  (* peer outside the refreshed set: drop *)
+              | Some (p, sum2) -> (
+                  match (added_of sum1 a1, added_of sum2 a2) with
+                  | Some added1, Some added2 -> (
+                      match
+                        ( Hashtbl.find_opt s.distinct_sets a1,
+                          Hashtbl.find_opt p.distinct_sets a2 )
+                      with
+                      | Some d1, Some d2 ->
+                          let a1set =
+                            Hashtbl.create (max 4 (List.length added1))
+                          in
+                          List.iter
+                            (fun k -> Hashtbl.replace a1set k ())
+                            added1;
+                          let extra = ref 0 in
+                          List.iter
+                            (fun k -> if Hashtbl.mem d2 k then incr extra)
+                            added1;
+                          List.iter
+                            (fun k ->
+                              if Hashtbl.mem d1 k && not (Hashtbl.mem a1set k)
+                              then incr extra)
+                            added2;
+                          Hashtbl.replace s.join_counts (a1, p.uid, a2)
+                            (n + !extra)
+                      | _ -> ())
+                  | _ -> ()))
+            entries)
+    items;
+  List.map
+    (function None -> None | Some (_, _, outcome, _) -> Some outcome)
+    items
 
 (* ------------------------------------------------------------------ *)
 (* streaming builder                                                   *)
@@ -924,6 +1480,7 @@ module Builder = struct
             codes = Array.sub b.b_codes.(p).data 0 b.b_codes.(p).len;
             dict = Array.sub b.b_dict.(p).ddata 0 b.b_dict.(p).dlen;
             nulls = b.b_nulls.(p);
+            exact_dict = true;
           })
     in
     let n = b.b_rows in
@@ -932,7 +1489,7 @@ module Builder = struct
           Array.map (fun (c : column) -> c.dict.(c.codes.(i))) cols)
     in
     let table = Table.create_deferred b.b_rel ~size:n produce in
-    let store = build table in
+    let store = make_store ~memoized:true table in
     Array.iteri (fun p c -> store.columns.(p) <- Some c) cols;
     Table.set_ext_cache table (Store store);
     table

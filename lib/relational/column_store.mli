@@ -11,8 +11,14 @@
     counts — is memoized inside the store, keyed by attribute list.
 
     The memoized store instance lives in the table's {!Table.ext}
-    cache slot, which every insert clears: cache invalidation is
-    structural, a store can never be observed stale. A fresh throwaway
+    cache slot. Mutations no longer clear the slot: a retrieved store
+    compares its build version against {!Table.version} and refreshes
+    itself in place by replaying the table's mutation log
+    ({!Table.deltas_since}) — extending dictionaries and code columns,
+    patching distinct sets and witness counts, re-checking retained FD
+    sweep states in O(delta) — with a fallback to full rebuild when the
+    delta exceeds a configurable fraction of the extension. Either way
+    a store handed out by {!of_table} is never stale. A fresh throwaway
     store (cold cache) can be built with {!build}.
 
     Equality semantics are identical to the row-based primitives
@@ -27,6 +33,11 @@ type column = private {
   codes : int array;  (** per-row dictionary codes; 0 is NULL *)
   dict : Value.t array;  (** code -> value; [dict.(0) = Null] *)
   nulls : int;  (** number of NULL rows in the column *)
+  exact_dict : bool;
+      (** every dict entry (beyond 0) occurs in [codes]. True on build
+          and under appends; deletions may orphan dictionary entries,
+          after which single-attribute distinct counts fall back to a
+          presence pass over the codes *)
 }
 
 type partition = private {
@@ -40,13 +51,55 @@ type partition = private {
 type Table.ext += Store of t
 (** How the memoized instance is stashed in {!Table.ext_cache}. *)
 
-val of_table : Table.t -> t
-(** The memoized store for this table: reused until the next insert.
-    Building is O(1); columns are encoded on first use. *)
+val default_delta_fraction : float
+(** Incremental-refresh budget when none is given: deltas up to this
+    fraction of the extension are absorbed in place, larger ones
+    trigger a full rebuild. Currently [0.25]. *)
+
+val of_table : ?delta_fraction:float -> Table.t -> t
+(** The memoized store for this table. Building is O(1); columns are
+    encoded on first use. If the table has mutated since the store was
+    built, the store refreshes itself in place first (incrementally
+    when the delta is within [delta_fraction] of the extension, by full
+    rebuild otherwise) — the returned store is never stale. *)
 
 val build : Table.t -> t
 (** A fresh private store ignoring (and not touching) the memo slot —
-    cold-cache measurements and short-lived tables. *)
+    cold-cache measurements and short-lived tables. Not
+    delta-maintained (it is rebuilt every call anyway). *)
+
+type refresh_outcome =
+  | Store_fresh  (** store already matched the table version *)
+  | Store_absorbed of int  (** delta of this many rows applied in place *)
+  | Store_rebuilt  (** delta too large or log trimmed: full rebuild *)
+
+val refresh : ?delta_fraction:float -> Table.t -> refresh_outcome option
+(** Bring the table's stashed store (if any) up to date now, reporting
+    what that took. [None] when no store is stashed. Equivalent to the
+    implicit refresh {!of_table} performs, as an explicit entry point. *)
+
+val refresh_all :
+  ?delta_fraction:float -> Table.t list -> refresh_outcome option list
+(** Coordinated refresh across a set of tables (a database): every
+    stashed store is refreshed, then cross-store equi-join memos are
+    patched {e exactly} from the refreshed stores' added-key summaries
+    instead of being dropped — the coordination single-store refresh
+    cannot do (it only knows the peer's uid, not the peer). Join memos
+    whose peer is outside the set, or either of whose sides saw a
+    deletion or rebuild, are dropped and recomputed on demand. *)
+
+type delta_stats = {
+  rows_absorbed : int;  (** total delta rows applied in place *)
+  incremental_refreshes : int;
+  full_rebuilds : int;  (** fallback rebuilds (fraction exceeded or log
+                            trimmed); store creations don't count *)
+}
+
+val delta_stats : unit -> delta_stats
+(** Process-wide delta-maintenance counters (all stores), for
+    {!Engine.describe} and serve status. *)
+
+val reset_delta_stats : unit -> unit
 
 val table : t -> Table.t
 val table_version : t -> int
@@ -87,8 +140,9 @@ val unique : t -> string list -> bool
 val equijoin_distinct_count : t -> string list -> t -> string list -> int
 (** [||r1[x1] ⋈ r2[x2]||] by intersecting the two memoized distinct
     sets (iterating the smaller). The count itself is memoized in the
-    left store, keyed by [(x1, uid r2, x2)] — a store rebuilt after an
-    insert has a fresh uid, so entries can never be served stale. *)
+    left store, keyed by [(x1, uid r2, x2)] — a store refreshed or
+    rebuilt after a mutation renews its uid, so entries can never be
+    served stale; {!refresh_all} patches and rekeys them exactly. *)
 
 val partition : t -> string list -> partition
 (** Memoized stripped partition on the given attributes (NULL-holding

@@ -33,7 +33,8 @@ let add_relation t r =
 let cardinality t name = Table.cardinality (table t name)
 
 let store_for engine tbl =
-  if Engine.cached engine then Column_store.of_table tbl
+  if Engine.cached engine then
+    Column_store.of_table ~delta_fraction:engine.Engine.delta_fraction tbl
   else Column_store.build tbl
 
 let count_distinct ?(engine = Engine.default) t name attrs =

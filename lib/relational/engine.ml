@@ -13,14 +13,18 @@ type t = {
   cache : cache_policy;
   parallelism : parallelism;
   budget : budget;
+  delta_fraction : float;
 }
 
 let no_budget = { deadline_s = None; max_heap_words = None; on_exhausted = `Partial }
 
 let make ?(check = Columnar) ?(cache = Cache_shared)
     ?(parallelism = Sequential) ?deadline_s ?max_heap_words
-    ?(on_exhausted = `Partial) () =
-  { check; cache; parallelism; budget = { deadline_s; max_heap_words; on_exhausted } }
+    ?(on_exhausted = `Partial)
+    ?(delta_fraction = Column_store.default_delta_fraction) () =
+  { check; cache; parallelism;
+    budget = { deadline_s; max_heap_words; on_exhausted };
+    delta_fraction }
 
 let with_budget ?deadline_s ?max_heap_words ?on_exhausted t =
   let b = t.budget in
@@ -107,11 +111,15 @@ let pp ppf t =
 let to_string t = Format.asprintf "%a" pp t
 
 let describe t =
-  Printf.sprintf "%s [%d domain%s resolved; host recommends %d, cap %d]"
+  let d = Column_store.delta_stats () in
+  Printf.sprintf
+    "%s [%d domain%s resolved; host recommends %d, cap %d] [delta: %g \
+     fallback, %d rows absorbed, %d incremental / %d full refreshes]"
     (to_string t) (domain_count t)
     (if domain_count t = 1 then "" else "s")
     (Stdlib.Domain.recommended_domain_count ())
-    max_domains
+    max_domains t.delta_fraction d.Column_store.rows_absorbed
+    d.Column_store.incremental_refreshes d.Column_store.full_rebuilds
 
 let pool t =
   match t.parallelism with

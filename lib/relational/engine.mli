@@ -47,6 +47,11 @@ type t = {
   cache : cache_policy;
   parallelism : parallelism;
   budget : budget;
+  delta_fraction : float;
+      (** incremental-refresh budget for the memoized column stores:
+          deltas up to this fraction of a table's extension are
+          absorbed in place, larger ones trigger a full rebuild
+          (default {!Column_store.default_delta_fraction}) *)
 }
 
 val no_budget : budget
@@ -60,10 +65,11 @@ val make :
   ?deadline_s:float ->
   ?max_heap_words:int ->
   ?on_exhausted:[ `Partial | `Fail ] ->
+  ?delta_fraction:float ->
   unit ->
   t
-(** Defaults: [Columnar], [Cache_shared], [Sequential], {!no_budget} —
-    i.e. {!default}. *)
+(** Defaults: [Columnar], [Cache_shared], [Sequential], {!no_budget},
+    [Column_store.default_delta_fraction] — i.e. {!default}. *)
 
 val with_budget :
   ?deadline_s:float ->
@@ -133,4 +139,7 @@ val to_string : t -> string
 
 val describe : t -> string
 (** {!to_string} plus the resolved domain count, the host
-    recommendation and the {!max_domains} cap — for bench logs. *)
+    recommendation and the {!max_domains} cap, and the delta-cache
+    statistics (fallback fraction in effect, rows absorbed, incremental
+    vs full refreshes — {!Column_store.delta_stats}) — for bench logs
+    and serve job status. *)

@@ -12,8 +12,20 @@ type t
 
 type ext = ..
 (** Open slot for derived structures memoized against the extension
-    (e.g. {!Column_store.t}). The slot is cleared on every {!insert}, so
-    a stashed structure is valid exactly while it remains retrievable. *)
+    (e.g. {!Column_store.t}). Mutations no longer clear the slot: a
+    stashed structure compares its build version against {!version} and
+    replays the mutation log ({!deltas_since}) to refresh itself
+    incrementally — or rebuilds when the log has been trimmed. *)
+
+type delta =
+  | Rows_appended of Tuple.t array
+      (** tuples appended, in insertion order (one {!insert} or one
+          whole {!insert_many} batch) *)
+  | Rows_deleted of int array * Tuple.t array
+      (** ascending row indices {e in the numbering just before this
+          deletion}, paired with the removed tuples — enough to patch
+          value-level memos without re-reading the extension *)
+(** One logged mutation. Each bumps {!version} by exactly one. *)
 
 val create : Relation.t -> t
 (** An empty table over the given schema. *)
@@ -43,16 +55,32 @@ val schema : t -> Relation.t
 val cardinality : t -> int
 
 val version : t -> int
-(** Monotonic revision counter, bumped by every insert — usable as a
-    cache key component by structures derived from the extension. *)
+(** Monotonic revision counter, bumped once per mutation ({!insert},
+    one whole {!insert_many} batch, {!delete_rows}) — the cache key
+    derived structures compare against, and the coordinate
+    {!deltas_since} replays from. *)
+
+val deltas_since : t -> int -> delta list option
+(** The mutations applied since [version], oldest first — [Some []]
+    when the table is already at that version, [None] when the log can
+    no longer replay from there (the version predates the trimmed log,
+    or never existed): the consumer must rebuild from the extension.
+    The log is trimmed once its logged tuples exceed
+    [max (cardinality t) 1024], bounding its memory at roughly one
+    extra copy of the extension. *)
 
 val ext_cache : t -> ext option
-(** The memoized derived structure, if one survived since the last
-    insert. *)
+(** The memoized derived structure, if one has been stashed. The holder
+    is responsible for freshness (compare {!version}, replay
+    {!deltas_since}). *)
 
 val set_ext_cache : t -> ext -> unit
-(** Stash a derived structure; overwritten by later calls, dropped by
-    the next insert. *)
+(** Stash a derived structure; overwritten by later calls. *)
+
+val clear_ext_cache : t -> unit
+(** Drop the stashed structure — forces the next {!ext_cache} consumer
+    to rebuild from scratch (the pre-delta-maintenance behavior;
+    cold-cache baselines and tests). *)
 
 val insert : t -> Value.t list -> unit
 (** Append one tuple. Raises [Invalid_argument] on an arity mismatch. No
@@ -60,7 +88,19 @@ val insert : t -> Value.t list -> unit
     to violate their dictionary constraints; use {!check_constraints}. *)
 
 val insert_many : t -> Value.t list list -> unit
+(** Append a whole batch transactionally: every row's arity is
+    validated before anything is touched (an arity error leaves the
+    table unchanged), and the batch costs one version bump and one
+    delta-log entry, not one per row. *)
+
 val insert_tuple : t -> Tuple.t -> unit
+
+val delete_rows : t -> int list -> unit
+(** Remove the rows at the given indices (in the current {!rows}
+    numbering; duplicates are collapsed). Raises [Invalid_argument] on
+    an out-of-range index, leaving the table unchanged. One version
+    bump and one delta-log entry per call; the empty list is a no-op.
+    A deferred backing is materialized first. *)
 
 val rows : t -> Tuple.t array
 (** All tuples in insertion order. The array is cached and shared: do not

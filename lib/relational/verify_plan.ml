@@ -21,7 +21,8 @@ type side = string * string list
 type counts = { n_left : int; n_right : int; n_join : int }
 
 let store_for engine tbl =
-  if Engine.cached engine then Column_store.of_table tbl
+  if Engine.cached engine then
+    Column_store.of_table ~delta_fraction:engine.Engine.delta_fraction tbl
   else Column_store.build tbl
 
 (* ------------------------------------------------------------------ *)

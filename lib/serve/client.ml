@@ -99,6 +99,41 @@ let rec wait t ?(since = 0) id =
         | Ok (arts, state) -> Ok (state, arts)
       else wait t ~since:next id
 
+let value_to_json = function
+  | Value.Null -> Json.Null
+  | Value.Bool b -> Json.Bool b
+  | Value.Int i -> Json.Int i
+  | Value.Float f -> Json.Float f
+  | Value.String s -> Json.String s
+  | Value.Date _ as v -> Json.String (Value.to_string v)
+
+let mutate t ?(insert = []) ?(delete = []) id relation =
+  let response =
+    request t
+      (Protocol.request "mutate"
+         [
+           ("id", Json.String id);
+           ("relation", Json.String relation);
+           ( "insert",
+             Json.List
+               (List.map
+                  (fun row -> Json.List (List.map value_to_json row))
+                  insert) );
+           ("delete", Json.List (List.map (fun i -> Json.Int i) delete));
+         ])
+  in
+  result_of response (fun r ->
+      ( Option.value ~default:0 (Json.mem_int "cardinality" r),
+        Option.value ~default:0 (Json.mem_int "version" r) ))
+
+let refresh t id =
+  let response =
+    request t (Protocol.request "refresh" [ ("id", Json.String id) ])
+  in
+  result_of response (fun r ->
+      ( Option.value ~default:Json.Null (Json.member "report" r),
+        Option.value ~default:"" (Json.mem_string "state" r) ))
+
 let jobs t =
   let response = request t (Protocol.request "jobs" []) in
   result_of response (fun r ->

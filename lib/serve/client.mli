@@ -50,6 +50,32 @@ val wait :
 (** Stream [watch] until the job settles, discarding events, then
     fetch {!artifacts}: [Ok (final state, artifacts)]. *)
 
+val mutate :
+  t ->
+  ?insert:Value.t list list ->
+  ?delete:int list ->
+  string ->
+  string ->
+  (int * int, string * string) result
+(** [mutate t ~insert ~delete id relation] mutates a settled job's
+    retained extension: [delete] names row indices in the current
+    numbering (validated and applied first), [insert] appends rows
+    (validated before the deletes are applied — a bad row or index
+    mutates nothing). [Ok (cardinality, version)] after the mutation.
+    Verdict artifacts are not recomputed until {!refresh}. *)
+
+val refresh :
+  t -> string -> (Json.t * string, string * string) result
+(** Delta re-verification of a settled, mutated job: replays the
+    mutation logs into the memoized stores and re-runs verification,
+    synchronously. [Ok (refresh report, final state)]; the job's
+    artifacts are replaced with the re-verified ones (byte-identical
+    to resubmitting the job over the mutated extension).
+    [Error ("not-settled", _)] while the job is queued, running or
+    mid-refresh; [Error ("no-database", _)] for jobs adopted from a
+    previous daemon process (their extension lives only in checkpoint
+    artifacts — resubmit instead). *)
+
 val jobs : t -> (Json.t list, string * string) result
 
 val shutdown : t -> unit

@@ -18,13 +18,22 @@ let settled = function
 type entry = {
   id : string;
   spec : Dbre.Job_spec.t;
-  supervise : Supervise.t;
+  mutable supervise : Supervise.t;
+      (* replaced with a fresh token per (re-)verification: the original
+         may be latched tripped by a cancel or budget from the last run *)
   mutable state : job_state;
   mutable cancel_requested : bool;
   mutable events : Json.t list;  (* newest first *)
   mutable next_seq : int;
   mutable artifacts : (string * string) list;
   mutable error : Json.t;  (* Null until a failure *)
+  mutable db : Database.t option;
+      (* the loaded database, retained after the run settles so mutate /
+         refresh can re-verify without reloading; None until the first
+         run's load completes (and for jobs adopted from a state dir,
+         whose extension was never this process's) *)
+  mutable quarantine : Quarantine.report list;
+  mutable refreshes : int;  (* delta re-verifications completed *)
 }
 
 type t = {
@@ -192,40 +201,58 @@ let settle t entry state =
       persist_status t entry;
       Condition.broadcast t.cond)
 
-let run_entry t entry =
-  locked t (fun () ->
-      entry.state <- Running;
-      persist_status t entry);
-  (* the daemon always checkpoints into its state dir (unless the spec
-     pins its own directory) and always offers resume: a fresh job
-     restores nothing, a job re-adopted after a crash restores every
-     stage its previous incarnation completed *)
-  let spec =
-    match (job_dir t entry.id, entry.spec.Dbre.Job_spec.checkpoint_dir) with
-    | Some dir, None ->
-        {
-          entry.spec with
-          Dbre.Job_spec.checkpoint_dir = Some (Filename.concat dir "ckpt");
-          resume = true;
-        }
-    | _ -> entry.spec
-  in
-  let progress ev = locked t (fun () -> push_event t entry (job_event ev)) in
-  match Dbre.Job.run ~progress ~supervise:entry.supervise spec with
+(* the daemon always checkpoints into its state dir (unless the spec
+   pins its own directory) and always offers resume: a fresh job
+   restores nothing, a job re-adopted after a crash restores every
+   stage its previous incarnation completed *)
+let effective_spec t entry =
+  match (job_dir t entry.id, entry.spec.Dbre.Job_spec.checkpoint_dir) with
+  | Some dir, None ->
+      {
+        entry.spec with
+        Dbre.Job_spec.checkpoint_dir = Some (Filename.concat dir "ckpt");
+        resume = true;
+      }
+  | _ -> entry.spec
+
+let settle_result t entry result =
+  match result with
   | Ok result ->
       entry.artifacts <- Dbre.Report.artifacts result;
+      entry.error <- Json.Null;
       settle t entry (if entry.cancel_requested then Cancelled else Done)
   | Error partial ->
       entry.error <- error_json partial.Dbre.Pipeline.p_error;
       settle t entry (if entry.cancel_requested then Cancelled else Failed)
-  | exception exn ->
-      entry.error <-
-        Json.Obj
-          [
-            ("code", Json.String "crashed");
-            ("message", Json.String (Printexc.to_string exn));
-          ];
-      settle t entry Failed
+
+let run_entry t entry =
+  locked t (fun () ->
+      entry.state <- Running;
+      persist_status t entry);
+  let spec = effective_spec t entry in
+  let progress ev = locked t (fun () -> push_event t entry (job_event ev)) in
+  try
+    match Dbre.Job.database ~supervise:entry.supervise ~progress spec with
+    | Error e ->
+        entry.error <- error_json e;
+        settle t entry (if entry.cancel_requested then Cancelled else Failed)
+    | Ok (db, quarantine) ->
+        (* retain the loaded database: mutate / refresh re-verify it
+           in place instead of reloading *)
+        locked t (fun () ->
+            entry.db <- Some db;
+            entry.quarantine <- quarantine);
+        settle_result t entry
+          (Dbre.Job.verify ~progress ~supervise:entry.supervise ~db
+             ~quarantine spec)
+  with exn ->
+    entry.error <-
+      Json.Obj
+        [
+          ("code", Json.String "crashed");
+          ("message", Json.String (Printexc.to_string exn));
+        ];
+    settle t entry Failed
 
 let rec worker t =
   let job =
@@ -287,6 +314,9 @@ let submit t spec_json =
                 next_seq = 0;
                 artifacts = [];
                 error = Json.Null;
+                db = None;
+                quarantine = [];
+                refreshes = 0;
               }
             in
             (* surface the source/schema lint before any work happens:
@@ -315,13 +345,205 @@ let find t id =
       | None -> Error (Protocol.error ~code:"unknown-job" id))
 
 let status_fields entry =
+  let d = Column_store.delta_stats () in
   [
     ("id", Json.String entry.id);
     ("label", Json.opt_string entry.spec.Dbre.Job_spec.label);
     ("state", Json.String (state_to_string entry.state));
     ("events", Json.Int entry.next_seq);
     ("error", entry.error);
+    ("refreshes", Json.Int entry.refreshes);
+    ( "delta",
+      (* the delta-cache statistics behind this job's verdicts: the
+         fallback fraction in effect plus the process-wide maintenance
+         counters (Column_store.delta_stats) *)
+      Json.Obj
+        [
+          ( "fraction",
+            Json.Float entry.spec.Dbre.Job_spec.engine.Engine.delta_fraction
+          );
+          ("rows_absorbed", Json.Int d.Column_store.rows_absorbed);
+          ( "incremental_refreshes",
+            Json.Int d.Column_store.incremental_refreshes );
+          ("full_rebuilds", Json.Int d.Column_store.full_rebuilds);
+        ] );
   ]
+
+(* JSON scalars map to values the way CSV fields do: explicit typed
+   scalars directly, strings through the same most-specific-type guess
+   the loader applies — so a mutated row is indistinguishable from one
+   that arrived in the original extension *)
+let value_of_json = function
+  | Json.Null -> Ok Value.Null
+  | Json.Bool b -> Ok (Value.Bool b)
+  | Json.Int i -> Ok (Value.Int i)
+  | Json.Float f -> Ok (Value.Float f)
+  | Json.String s -> Ok (Value.parse s)
+  | Json.List _ | Json.Obj _ -> Error "row cells must be JSON scalars"
+
+let rows_of_json rows =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | Json.List cells :: rest -> (
+        let rec cells_go vacc = function
+          | [] -> Ok (List.rev vacc)
+          | c :: cs -> (
+              match value_of_json c with
+              | Ok v -> cells_go (v :: vacc) cs
+              | Error _ as e -> e)
+        in
+        match cells_go [] cells with
+        | Ok row -> go (row :: acc) rest
+        | Error _ as e -> e)
+    | _ -> Error "\"insert\" must be a list of rows (lists of scalars)"
+  in
+  go [] rows
+
+let indices_of_json idxs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | Json.Int i :: rest -> go (i :: acc) rest
+    | _ -> Error "\"delete\" must be a list of row indices"
+  in
+  go [] idxs
+
+(* caller holds the lock; entry is settled and its database present *)
+let apply_mutation t entry db request =
+  match Json.mem_string "relation" request with
+  | None -> Protocol.error ~code:"bad-request" "mutate needs \"relation\""
+  | Some rel -> (
+      match Database.table_opt db rel with
+      | None -> Protocol.error ~code:"unknown-relation" rel
+      | Some table -> (
+          let inserts =
+            Option.value ~default:[] (Json.mem_list "insert" request)
+          in
+          let deletes =
+            Option.value ~default:[] (Json.mem_list "delete" request)
+          in
+          match (rows_of_json inserts, indices_of_json deletes) with
+          | Error msg, _ | _, Error msg ->
+              Protocol.error ~code:"bad-request" msg
+          | Ok rows, Ok idxs -> (
+              let arity = Relation.arity (Table.schema table) in
+              match
+                List.find_opt (fun r -> List.length r <> arity) rows
+              with
+              | Some bad ->
+                  Protocol.error ~code:"bad-request"
+                    (Printf.sprintf
+                       "%s: arity mismatch (%d cells, expected %d)" rel
+                       (List.length bad) arity)
+              | None -> (
+                  (* deletes address the pre-mutation numbering and are
+                     validated (and applied) before the appends; a bad
+                     index leaves the table untouched *)
+                  match Table.delete_rows table idxs with
+                  | exception Invalid_argument msg ->
+                      Protocol.error ~code:"bad-request" msg
+                  | () ->
+                      Table.insert_many table rows;
+                      push_event t entry
+                        [
+                          ("kind", Json.String "mutated");
+                          ("relation", Json.String rel);
+                          ("inserted", Json.Int (List.length rows));
+                          ("deleted", Json.Int (List.length idxs));
+                        ];
+                      Protocol.ok
+                        [
+                          ("relation", Json.String rel);
+                          ("cardinality", Json.Int (Table.cardinality table));
+                          ("version", Json.Int (Table.version table));
+                          ("inserted", Json.Int (List.length rows));
+                          ("deleted", Json.Int (List.length idxs));
+                        ]))))
+
+let refresh_report_json (r : Dbre.Refresh.report) =
+  Json.Obj
+    [
+      ("fresh", Json.Int r.Dbre.Refresh.fresh);
+      ("incremental", Json.Int r.Dbre.Refresh.absorbed);
+      ("rebuilt", Json.Int r.Dbre.Refresh.rebuilt);
+      ("rows_applied", Json.Int r.Dbre.Refresh.rows_applied);
+      ( "relations",
+        Json.Obj
+          (List.map
+             (fun (name, o) ->
+               ( name,
+                 Json.String
+                   (Format.asprintf "%a" Dbre.Refresh.pp_outcome o) ))
+             r.Dbre.Refresh.relations) );
+    ]
+
+(* Synchronous delta re-verification of a settled job, in the handler
+   thread: claim the entry (Running) under the lock, run the refresh
+   outside it, settle, reply with the refresh report and final state. *)
+let refresh_job t id =
+  let claim =
+    locked t (fun () ->
+        match find t id with
+        | Error e -> Error e
+        | Ok entry ->
+            if t.stopping || t.shutdown_requested then
+              Error
+                (Protocol.error ~code:"shutting-down"
+                   "the server is shutting down and accepts no new work")
+            else if not (settled entry.state) then
+              Error
+                (Protocol.error ~code:"not-settled"
+                   (Printf.sprintf "job %s is %s" entry.id
+                      (state_to_string entry.state)))
+            else
+              match entry.db with
+              | None ->
+                  Error
+                    (Protocol.error ~code:"no-database"
+                       (Printf.sprintf
+                          "job %s holds no loaded database (adopted from a \
+                           previous process?) — resubmit it instead"
+                          entry.id))
+              | Some db ->
+                  entry.state <- Running;
+                  entry.cancel_requested <- false;
+                  (* the previous token may be latched (cancel, budget) *)
+                  entry.supervise <- Dbre.Job_spec.supervisor entry.spec;
+                  push_event t entry
+                    [ ("kind", Json.String "refresh-started") ];
+                  persist_status t entry;
+                  Ok (entry, db))
+  in
+  match claim with
+  | Error e -> e
+  | Ok (entry, db) -> (
+      let spec = effective_spec t entry in
+      let progress ev =
+        locked t (fun () -> push_event t entry (job_event ev))
+      in
+      match
+        Dbre.Job.refresh ~progress ~supervise:entry.supervise ~db
+          ~quarantine:entry.quarantine spec
+      with
+      | report, result ->
+          locked t (fun () ->
+              entry.refreshes <- entry.refreshes + 1;
+              push_event t entry
+                (("kind", Json.String "refreshed")
+                :: [ ("report", refresh_report_json report) ]));
+          settle_result t entry result;
+          locked t (fun () ->
+              Protocol.ok
+                (("report", refresh_report_json report)
+                :: status_fields entry))
+      | exception exn ->
+          entry.error <-
+            Json.Obj
+              [
+                ("code", Json.String "crashed");
+                ("message", Json.String (Printexc.to_string exn));
+              ];
+          settle t entry Failed;
+          Protocol.error ~code:"crashed" (Printexc.to_string exn))
 
 let events_since entry since =
   List.filter
@@ -382,6 +604,25 @@ let handle t request =
                     end
                   in
                   wait ())
+      | "mutate" ->
+          locked t (fun () ->
+              match find t id with
+              | Error e -> e
+              | Ok entry -> (
+                  if not (settled entry.state) then
+                    Protocol.error ~code:"not-settled"
+                      (Printf.sprintf "job %s is %s" entry.id
+                         (state_to_string entry.state))
+                  else
+                    match entry.db with
+                    | None ->
+                        Protocol.error ~code:"no-database"
+                          (Printf.sprintf
+                             "job %s holds no loaded database (adopted from \
+                              a previous process?) — resubmit it instead"
+                             entry.id)
+                    | Some db -> apply_mutation t entry db request))
+      | "refresh" -> refresh_job t id
       | "cancel" ->
           locked t (fun () ->
               match find t id with
@@ -572,6 +813,9 @@ let adopt_state t =
                   next_seq = 0;
                   artifacts;
                   error;
+                  db = None;
+                  quarantine = [];
+                  refreshes = 0;
                 }
               in
               Hashtbl.replace t.jobs id entry;

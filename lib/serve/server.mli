@@ -13,6 +13,18 @@
     function the one-shot CLI renders from — so serve-mode output is
     byte-identical to a local run of the same spec by construction.
 
+    {b Mutation and refresh.} A settled job's loaded database is
+    retained in memory: [mutate] appends/deletes rows in a named
+    relation (logged in each table's mutation log), and [refresh]
+    re-verifies the job against the mutated extension — one
+    coordinated delta pass over the memoized column stores
+    ({!Dbre.Refresh.database}), checkpoint invalidation, then the
+    verification stages re-run, synchronously in the requesting
+    connection's handler. The refreshed artifacts are byte-identical
+    to resubmitting the job over the mutated data; [status] reports
+    the delta-cache statistics behind them. Jobs adopted from a
+    previous process hold no database and reject both requests.
+
     {b Crash recovery.} With a [state_dir], every job's spec and
     status are persisted (atomic rename), the job runs with a
     per-job checkpoint directory inside the state dir, and a finished

@@ -470,6 +470,87 @@ let test_restart_resumes_from_checkpoints () =
   Alcotest.(check string) "id counter moved past the adopted job"
     "job-000042" id2
 
+(* ------------------------------------------------------------------ *)
+(* Mutation and delta refresh                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* mutate a settled job's retained extension, refresh, and check the
+   refreshed artifacts are byte-identical to running the same job over
+   the mutated rows from scratch *)
+let test_mutate_refresh_matches_resubmit () =
+  with_server (fun server ->
+      with_client server (fun c ->
+          let id, _ = submit_exn c (spec ~rows:40 ()) in
+          let state, _ = wait_exn c id in
+          Alcotest.(check string) "settled" "done" state;
+          (* delete the first employee, append two new ones *)
+          let insert =
+            [
+              [ Value.Int 101; Value.String "d1"; Value.String "dept-1" ];
+              [ Value.Int 102; Value.String "d2"; Value.String "dept-2" ];
+            ]
+          in
+          (match Client.mutate c ~insert ~delete:[ 0 ] id "Emp" with
+          | Ok (cardinality, _version) ->
+              Alcotest.(check int) "cardinality after mutate" 41 cardinality
+          | Error (code, msg) -> Alcotest.failf "mutate: %s: %s" code msg);
+          (match Client.refresh c id with
+          | Ok (_report, state) ->
+              Alcotest.(check string) "settled after refresh" "done" state
+          | Error (code, msg) -> Alcotest.failf "refresh: %s: %s" code msg);
+          let refreshed =
+            match Client.artifacts c id with
+            | Ok (arts, _) -> arts
+            | Error (code, msg) -> Alcotest.failf "artifacts: %s: %s" code msg
+          in
+          (* the same extension, loaded fresh: rows 2..40 plus the two
+             appended employees *)
+          let b = Buffer.create 1024 in
+          Buffer.add_string b "eid,dep,dname\n";
+          for i = 2 to 40 do
+            let d = i mod 4 in
+            Buffer.add_string b (Printf.sprintf "%d,d%d,dept-%d\n" i d d)
+          done;
+          Buffer.add_string b "101,d1,dept-1\n102,d2,dept-2\n";
+          let mutated_spec =
+            Job_spec.make
+              ~sources:
+                [
+                  ("Emp", Source.csv_inline (Buffer.contents b));
+                  ("Dept", Source.csv_inline (dept_csv ~deps:4 ()));
+                ]
+              ~ddl
+              (Job_spec.Sql_scripts [ script ])
+          in
+          check_artifacts "refresh = resubmit over mutated rows"
+            (local_artifacts mutated_spec)
+            refreshed;
+          (* status reports the refresh and the delta-cache counters *)
+          (match Client.status c id with
+          | Ok st ->
+              Alcotest.(check (option int))
+                "refresh count" (Some 1)
+                (Json.mem_int "refreshes" st);
+              Alcotest.(check bool) "delta stats present" true
+                (Json.member "delta" st <> None)
+          | Error (code, msg) -> Alcotest.failf "status: %s: %s" code msg);
+          (* bad requests are typed and mutate nothing *)
+          (match Client.mutate c ~delete:[ 0 ] id "Nope" with
+          | Error ("unknown-relation", _) -> ()
+          | Ok _ -> Alcotest.fail "mutate of unknown relation succeeded"
+          | Error (code, msg) ->
+              Alcotest.failf "unexpected error: %s: %s" code msg);
+          match
+            Client.mutate c ~insert:[ [ Value.Int 1 ] ] ~delete:[ 0 ] id "Emp"
+          with
+          | Error _ -> (
+              match Client.mutate c id "Emp" with
+              | Ok (cardinality, _) ->
+                  Alcotest.(check int) "bad row mutated nothing" 41 cardinality
+              | Error (code, msg) ->
+                  Alcotest.failf "no-op mutate: %s: %s" code msg)
+          | Ok _ -> Alcotest.fail "arity-mismatched insert succeeded"))
+
 let suite =
   [
     Alcotest.test_case "ping" `Quick test_ping;
@@ -492,4 +573,6 @@ let suite =
       test_restart_runs_queued_job;
     Alcotest.test_case "restart resumes from checkpoints" `Quick
       test_restart_resumes_from_checkpoints;
+    Alcotest.test_case "mutate + refresh is byte-identical to resubmit" `Quick
+      test_mutate_refresh_matches_resubmit;
   ]
