@@ -137,6 +137,47 @@ let lenient_arg =
   in
   Arg.(value & flag & info [ "lenient" ] ~doc)
 
+let spill_dir_arg =
+  let doc =
+    "Directory for column-segment spill files (out-of-core mode): sealed \
+     segments evicted under --resident-budget write their packed image \
+     here and are mapped back on demand. Without it segments are pinned \
+     in RAM."
+  in
+  Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR" ~doc)
+
+let resident_budget_arg =
+  let doc =
+    "Resident column-segment budget, in MiB: once sealed segments exceed \
+     it, the coldest spill to --spill-dir. Lets analysis run on \
+     extensions much larger than RAM."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "resident-budget" ] ~docv:"MIB" ~doc)
+
+let segment_rows_arg =
+  let doc = "Rows per sealed column segment (default 65536)." in
+  Arg.(
+    value & opt (some int) None & info [ "segment-rows" ] ~docv:"ROWS" ~doc)
+
+(* the out-of-core policy is process-wide (Ooc), not part of the job
+   spec: set it up front from the flags *)
+let configure_ooc spill_dir resident_budget_mb segment_rows =
+  if spill_dir = None && resident_budget_mb = None && segment_rows = None then
+    Ok ()
+  else if match resident_budget_mb with Some m -> m < 1 | None -> false then
+    Error "--resident-budget must be at least 1 (MiB)"
+  else
+    try
+      Ok
+        (Relational.Ooc.configure ?spill_dir
+           ?resident_budget_words:
+             (Option.map
+                (fun mib -> mib * 1024 * 1024 / (Sys.word_size / 8))
+                resident_budget_mb)
+           ?segment_rows ())
+    with Invalid_argument msg | Sys_error msg -> Error msg
+
 let checkpoint_arg =
   let doc = "Serialize each completed stage's artifact into $(docv)." in
   Arg.(
@@ -338,11 +379,14 @@ let spec_of_flags ?label ~ddl ~data ~programs ~oracle ~engine ~deadline
 
 let analyze_cmd =
   let run ddl data programs oracle engine deadline max_heap_mb on_exhausted
-      lenient lint flow checkpoint_dir resume dot markdown =
+      lenient spill_dir resident_budget segment_rows lint flow checkpoint_dir
+      resume dot markdown =
     match
-      spec_of_flags ~ddl ~data:(Some data) ~programs:(Some programs) ~oracle
-        ~engine ~deadline ~max_heap_mb ~on_exhausted ~lenient ~checkpoint_dir
-        ~resume ()
+      Result.bind (configure_ooc spill_dir resident_budget segment_rows)
+        (fun () ->
+          spec_of_flags ~ddl ~data:(Some data) ~programs:(Some programs)
+            ~oracle ~engine ~deadline ~max_heap_mb ~on_exhausted ~lenient
+            ~checkpoint_dir ~resume ())
     with
     | Error msg ->
         prerr_endline msg;
@@ -377,6 +421,7 @@ let analyze_cmd =
     Term.(
       const run $ ddl_arg $ data_arg $ programs_arg $ oracle_arg $ engine_arg
       $ deadline_arg $ max_heap_arg $ on_exhausted_arg $ lenient_arg
+      $ spill_dir_arg $ resident_budget_arg $ segment_rows_arg
       $ lint_hooks_arg $ flow_arg $ checkpoint_arg $ resume_arg $ dot_arg
       $ markdown_arg)
 

@@ -5,16 +5,60 @@
    codes are interned with the polymorphic hashtable (structural
    equality on [Value.t]), exactly what [Table.distinct_table] and the
    naive FD check key their hashtables with, so every engine agrees
-   verdict-for-verdict. *)
+   verdict-for-verdict.
+
+   Layout: each encoded column is a sequence of immutable *sealed
+   segments* of exactly [seg_rows] rows (codes bit-packed to the
+   dictionary width, carrying a zone map: min/max code, null count,
+   within-segment distinct count) followed by one open mutable *tail*
+   of plain int codes holding the remainder. Appends extend the tail
+   and seal full chunks off its front; sealed segments never change, so
+   they can spill to disk under the [Ooc] residency budget and mmap
+   back on demand without any coherence protocol. All of a store's
+   columns seal at the same fixed row boundaries, so multi-column
+   passes iterate block-aligned: decode segment [s] of every needed
+   column, sweep [seg_rows] rows, move on. *)
+
+type zone = {
+  z_rows : int;  (* rows in the segment (always the store's seg_rows) *)
+  z_min : int;  (* smallest non-NULL code, 0 if all NULL *)
+  z_max : int;  (* largest non-NULL code, 0 if all NULL *)
+  z_nulls : int;
+  z_distinct : int;  (* exact count of distinct non-NULL codes *)
+}
+
+type seg_data =
+  | Seg_mem of Packed_codes.t  (* resident (packed) or mapped payload *)
+  | Seg_disk  (* evicted; [seg_path] holds the spill file *)
+
+type segment = {
+  seg_id : int;  (* process-unique: the [Ooc] residency key *)
+  seg_zone : zone;
+  seg_width : int;  (* pack width in bits; 0 = raw 64-bit *)
+  mutable seg_data : seg_data;
+  mutable seg_path : string option;  (* spill file, once written *)
+}
 
 type column = {
-  codes : int array;  (* per row; 0 is the reserved NULL code *)
+  segs : segment array;  (* sealed, immutable, [seg_rows] rows each *)
+  tail : int array;  (* open remainder; 0 is the reserved NULL code *)
   dict : Value.t array;  (* code -> value; dict.(0) = Null *)
   nulls : int;  (* rows holding NULL in this column *)
-  exact_dict : bool;
-      (* every dict code >= 1 still occurs in [codes]; incremental
-         deletes leave dead dictionary entries behind and clear this,
-         sending single-attribute distinct reads through the codes *)
+  sealed_dict : int;
+      (* codes < sealed_dict are guaranteed to occur in the sealed
+         segments (first-occurrence interning puts every code below a
+         sealed maximum before that maximum's first row). Codes >=
+         sealed_dict live only in the tail — the only region deletes
+         can orphan them from, so the liveness fallback scans the tail
+         alone. *)
+  tail_exact : bool;
+      (* every dict code >= sealed_dict still occurs in [tail];
+         tail-only deletes clear this, and the next append or seal
+         runs a tail reclaim pass that compacts the dead suffix codes
+         away and restores it *)
+  mutable vrange : (int * int) option option;
+      (* memoized all-[Int] dictionary value range (superset of the
+         live values), for the IND disjoint-range short-circuit *)
 }
 
 type partition = { groups : int array array; p_rows : int }
@@ -27,14 +71,14 @@ type stats = {
   join_counts : int;
 }
 
-(* Retained state of a completed fused FD sweep (see [sweep_fused]):
-   the LHS key -> group-id tables plus, per surviving (true-verdict)
-   RHS attribute, the per-group representative value. Enough to
-   re-check a verdict against appended rows in O(delta) — each new row
-   either joins an existing group (compare against the representative)
-   or founds a new one (seed it). Dropped on any delete: group
-   emptiness is not tracked, so a deletion could leave a stale
-   representative behind. *)
+(* Retained state of a completed fused FD sweep (see [sweep_fused] and
+   [sweep_fused_codes]): the LHS key -> group-id tables plus, per
+   surviving (true-verdict) RHS attribute, the per-group representative
+   value. Enough to re-check a verdict against appended rows in
+   O(delta) — each new row either joins an existing group (compare
+   against the representative) or founds a new one (seed it). Dropped
+   on any delete: group emptiness is not tracked, so a deletion could
+   leave a stale representative behind. *)
 type group_keys =
   | Scalar_keys of (int, int) Hashtbl.t * (Value.t, int) Hashtbl.t
       (* single-attribute LHS: unboxed Int fast path + boxed rest *)
@@ -53,6 +97,7 @@ type t = {
   mutable uid : int;  (* unique per store content: cross-store keys *)
   mutable built_version : int;
   mutable n_rows : int;
+  seg_rows : int;  (* fixed sealed-segment size for this store *)
   columns : column option array;  (* by attribute position, lazy *)
   interns : (Value.t, int) Hashtbl.t option array;
       (* per-column value -> code, retained (or lazily rebuilt from the
@@ -97,23 +142,260 @@ let reset_delta_stats () =
 
 let default_delta_fraction = 0.25
 
-let make_store ~memoized table =
+(* ------------------------------------------------------------------ *)
+(* segment lifecycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let seg_counter = Atomic.make 0
+
+(* Eviction callback: write the payload to its spill file (once) and
+   drop the resident reference. Runs with the Ooc manager lock held, so
+   it must not call back into the locking entry points — it only does
+   file I/O, field flips and atomic counter bumps. Returns [false]
+   (unevictable) when no spill directory is configured. *)
+let evict_segment seg =
+  match seg.seg_data with
+  | Seg_disk -> true
+  | Seg_mem p ->
+      let on_disk =
+        match seg.seg_path with
+        | Some _ -> true
+        | None -> (
+            match Ooc.spill_target ~id:seg.seg_id with
+            | None -> false
+            | Some path ->
+                Packed_codes.write_file path p;
+                seg.seg_path <- Some path;
+                Ooc.note_spill ();
+                true)
+      in
+      if on_disk then seg.seg_data <- Seg_disk;
+      on_disk
+
+let register_segment seg =
+  match seg.seg_data with
+  | Seg_mem p ->
+      Ooc.register ~id:seg.seg_id
+        ~words:(Packed_codes.heap_words p)
+        ~evict:(fun () -> evict_segment seg)
+  | Seg_disk -> ()
+
+(* the segment is dead (store rebuilt, column compacted, builder chunk
+   merged): drop its budget entry and its spill file *)
+let release_segment seg =
+  Ooc.unregister ~id:seg.seg_id;
+  (match seg.seg_path with
+  | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+  | None -> ());
+  seg.seg_path <- None;
+  seg.seg_data <- Seg_disk
+
+let release_column (c : column) = Array.iter release_segment c.segs
+
+(* Seal [src.(off .. off+seg_rows-1)] into an immutable segment:
+   compute the zone map, bit-pack at the slice's width, register with
+   the residency budget. *)
+let seal_segment ~seg_rows (src : int array) off =
+  let zmin = ref max_int and zmax = ref 0 and nulls = ref 0 in
+  for i = off to off + seg_rows - 1 do
+    let c = src.(i) in
+    if c = 0 then incr nulls
+    else begin
+      if c < !zmin then zmin := c;
+      if c > !zmax then zmax := c
+    end
+  done;
+  let zmin = if !nulls = seg_rows then 0 else !zmin in
+  let distinct =
+    if !nulls = seg_rows then 0
+    else begin
+      let range = !zmax - zmin + 1 in
+      if range <= 1 lsl 22 then begin
+        (* dense code range: transient bitset *)
+        let seen = Bytes.make range '\000' in
+        let d = ref 0 in
+        for i = off to off + seg_rows - 1 do
+          let c = src.(i) in
+          if c > 0 then begin
+            let j = c - zmin in
+            if Bytes.unsafe_get seen j = '\000' then begin
+              Bytes.unsafe_set seen j '\001';
+              incr d
+            end
+          end
+        done;
+        !d
+      end
+      else begin
+        let seen = Hashtbl.create 1024 in
+        for i = off to off + seg_rows - 1 do
+          let c = src.(i) in
+          if c > 0 then Hashtbl.replace seen c ()
+        done;
+        Hashtbl.length seen
+      end
+    end
+  in
+  let p = Packed_codes.pack ~width:(Packed_codes.width_for !zmax) src off
+      seg_rows
+  in
+  let seg =
+    {
+      seg_id = Atomic.fetch_and_add seg_counter 1;
+      seg_zone =
+        {
+          z_rows = seg_rows;
+          z_min = zmin;
+          z_max = !zmax;
+          z_nulls = !nulls;
+          z_distinct = distinct;
+        };
+      seg_width = Packed_codes.width p;
+      seg_data = Seg_mem p;
+      seg_path = None;
+    }
+  in
+  register_segment seg;
+  seg
+
+(* resident payload, mapping the spill file back in if evicted; the
+   caller's reference keeps the payload alive even if the segment is
+   re-evicted mid-sweep *)
+let seg_payload seg =
+  match seg.seg_data with
+  | Seg_mem p ->
+      Ooc.touch ~id:seg.seg_id;
+      p
+  | Seg_disk ->
+      let path =
+        match seg.seg_path with Some p -> p | None -> assert false
+      in
+      let p =
+        Packed_codes.map_file path ~width:seg.seg_width
+          ~len:seg.seg_zone.z_rows
+      in
+      seg.seg_data <- Seg_mem p;
+      Ooc.note_map ();
+      register_segment seg;
+      p
+
+let sealed_rows (col : column) =
+  Array.fold_left (fun acc s -> acc + s.seg_zone.z_rows) 0 col.segs
+
+let max_sealed_code segs floor =
+  Array.fold_left (fun acc sg -> max acc (sg.seg_zone.z_max + 1)) floor segs
+
+(* decoded flat copy — oracle/test accessor, not a hot path *)
+let column_codes (col : column) =
+  let ns = sealed_rows col in
+  let out = Array.make (ns + Array.length col.tail) 0 in
+  let off = ref 0 in
+  Array.iter
+    (fun seg ->
+      let tmp = Packed_codes.to_array (seg_payload seg) in
+      Array.blit tmp 0 out !off (Array.length tmp);
+      off := !off + Array.length tmp)
+    col.segs;
+  Array.blit col.tail 0 out ns (Array.length col.tail);
+  out
+
+let column_dict (col : column) = col.dict
+let column_nulls (col : column) = col.nulls
+
+(* Iterate the row blocks of [cols] in row order: every sealed segment
+   (a store's columns all seal at the same fixed boundaries, so block
+   [s] lines up across columns), then the open tail. [f bufs len base]
+   must not retain [bufs]: sealed blocks reuse one scratch buffer per
+   column. *)
+let iter_blocks t (cols : column array) f =
+  let m = Array.length cols in
+  if m > 0 then begin
+    let sr = t.seg_rows in
+    let nseg = Array.length cols.(0).segs in
+    if nseg > 0 then begin
+      let scratch = Array.init m (fun _ -> Array.make sr 0) in
+      for s = 0 to nseg - 1 do
+        for j = 0 to m - 1 do
+          Packed_codes.decode_into (seg_payload cols.(j).segs.(s)) scratch.(j)
+        done;
+        f scratch sr (s * sr)
+      done
+    end;
+    let tails = Array.map (fun (c : column) -> c.tail) cols in
+    let tlen = Array.length tails.(0) in
+    if tlen > 0 then f tails tlen (nseg * sr)
+  end
+
+(* random access into one column with a one-segment decode cache —
+   partition-group refinement visits rows in ascending order, so
+   consecutive hits land in the same segment *)
+let code_reader t (col : column) =
+  let sr = t.seg_rows in
+  let nseg = Array.length col.segs in
+  let ns = nseg * sr in
+  if nseg = 0 then fun row -> col.tail.(row)
+  else begin
+    let cache_idx = ref (-1) in
+    let cache = Array.make sr 0 in
+    fun row ->
+      if row >= ns then col.tail.(row - ns)
+      else begin
+        let s = row / sr in
+        if !cache_idx <> s then begin
+          Packed_codes.decode_into (seg_payload col.segs.(s)) cache;
+          cache_idx := s
+        end;
+        cache.(row mod sr)
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* store construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_store ?seg_rows ~memoized table =
   let arity = Relation.arity (Table.schema table) in
-  {
-    table;
-    uid = Atomic.fetch_and_add uid_counter 1;
-    built_version = Table.version table;
-    n_rows = Table.cardinality table;
-    columns = Array.make arity None;
-    interns = Array.make arity None;
-    memoized;
-    distinct_sets = Hashtbl.create 8;
-    witnesses = Hashtbl.create 8;
-    partitions = Hashtbl.create 8;
-    fd_verdicts = Hashtbl.create 16;
-    fd_sweeps = Hashtbl.create 8;
-    join_counts = Hashtbl.create 8;
-  }
+  let seg_rows =
+    match seg_rows with Some r -> r | None -> (Ooc.config ()).segment_rows
+  in
+  let s =
+    {
+      table;
+      uid = Atomic.fetch_and_add uid_counter 1;
+      built_version = Table.version table;
+      n_rows = Table.cardinality table;
+      seg_rows;
+      columns = Array.make arity None;
+      interns = Array.make arity None;
+      memoized;
+      distinct_sets = Hashtbl.create 8;
+      witnesses = Hashtbl.create 8;
+      partitions = Hashtbl.create 8;
+      fd_verdicts = Hashtbl.create 16;
+      fd_sweeps = Hashtbl.create 8;
+      join_counts = Hashtbl.create 8;
+    }
+  in
+  (* a collected store's segments must leave the residency budget; the
+     finalizer defers the unregister through the lock-free graveyard *)
+  Gc.finalise
+    (fun s ->
+      let ids = ref [] in
+      Array.iter
+        (function
+          | Some (c : column) ->
+              Array.iter
+                (fun sg ->
+                  ids := sg.seg_id :: !ids;
+                  match sg.seg_path with
+                  | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+                  | None -> ())
+                c.segs
+          | None -> ())
+        s.columns;
+      Ooc.bury !ids)
+    s;
+  s
 
 let build table = make_store ~memoized:false table
 
@@ -124,6 +406,23 @@ let uid t = t.uid
 (* ------------------------------------------------------------------ *)
 (* encoding                                                            *)
 (* ------------------------------------------------------------------ *)
+
+(* segment a freshly encoded (or recompacted) code array: seal every
+   full [seg_rows] chunk, keep the remainder as the open tail *)
+let column_of_codes ~seg_rows codes dict nulls =
+  let n = Array.length codes in
+  let nseg = n / seg_rows in
+  let segs = Array.init nseg (fun s -> seal_segment ~seg_rows codes (s * seg_rows)) in
+  let tail = Array.sub codes (nseg * seg_rows) (n - (nseg * seg_rows)) in
+  {
+    segs;
+    tail;
+    dict;
+    nulls;
+    sealed_dict = max_sealed_code segs 1;
+    tail_exact = true;
+    vrange = None;
+  }
 
 let encode t pos =
   let rows = Table.rows t.table in
@@ -146,10 +445,9 @@ let encode t pos =
             rev_dict := v :: !rev_dict;
             codes.(i) <- c)
     rows;
-  ( { codes;
-      dict = Array.of_list (List.rev !rev_dict);
-      nulls = !nulls;
-      exact_dict = true },
+  ( column_of_codes ~seg_rows:t.seg_rows codes
+      (Array.of_list (List.rev !rev_dict))
+      !nulls,
     intern )
 
 let pos_of t a =
@@ -218,19 +516,26 @@ let compute_distinct t attrs =
   match attrs with
   | [ a ] ->
       (* single column: the dictionary is the distinct set; no row
-         pass — unless incremental deletes left dead entries behind,
-         in which case one pass over the codes finds the live ones *)
+         pass. Codes below [sealed_dict] occur in immutable sealed
+         segments, so they are live by construction; codes above live
+         only in the tail, where deletes can orphan them — the
+         presence fallback scans just the tail. *)
       let c = column t a in
       let set = Hashtbl.create (max 16 (Array.length c.dict)) in
-      if c.exact_dict then
+      if c.tail_exact then
         Array.iteri
           (fun code v -> if code > 0 then Hashtbl.add set [ v ] ())
           c.dict
       else begin
-        let live = Array.make (Array.length c.dict) false in
-        Array.iter (fun code -> live.(code) <- true) c.codes;
+        let sd = c.sealed_dict in
+        let live = Array.make (Array.length c.dict - sd) false in
+        Array.iter
+          (fun code -> if code >= sd then live.(code - sd) <- true)
+          c.tail;
         Array.iteri
-          (fun code v -> if code > 0 && live.(code) then Hashtbl.add set [ v ] ())
+          (fun code v ->
+            if code > 0 && (code < sd || live.(code - sd)) then
+              Hashtbl.add set [ v ] ())
           c.dict
       end;
       (set, t.n_rows - c.nulls)
@@ -238,21 +543,22 @@ let compute_distinct t attrs =
       let cols = columns t attrs in
       let width = Array.length cols in
       let seen : (int list, unit) Hashtbl.t =
-        Hashtbl.create (max 16 (t.n_rows / 4))
+        Hashtbl.create (max 16 (min t.n_rows 65536 / 4 + 16))
       in
       let witnesses = ref 0 in
-      for row = 0 to t.n_rows - 1 do
-        let null = ref false in
-        let key = ref [] in
-        for j = width - 1 downto 0 do
-          let code = cols.(j).codes.(row) in
-          if code = 0 then null := true else key := code :: !key
-        done;
-        if not !null then begin
-          incr witnesses;
-          Hashtbl.replace seen !key ()
-        end
-      done;
+      iter_blocks t cols (fun bufs len _base ->
+          for i = 0 to len - 1 do
+            let null = ref false in
+            let key = ref [] in
+            for j = width - 1 downto 0 do
+              let code = bufs.(j).(i) in
+              if code = 0 then null := true else key := code :: !key
+            done;
+            if not !null then begin
+              incr witnesses;
+              Hashtbl.replace seen !key ()
+            end
+          done);
       let set = Hashtbl.create (max 16 (Hashtbl.length seen)) in
       Hashtbl.iter (fun key () -> Hashtbl.add set (decode cols key) ()) seen;
       (set, !witnesses)
@@ -282,6 +588,33 @@ let unique t attrs =
   let w = witness_count t attrs in
   w > 0 && count_distinct t attrs = w
 
+(* memoized all-[Int] dictionary value range; a superset of the live
+   values (dead codes only widen it), so range disjointness still
+   proves an empty intersection *)
+let int_range (col : column) =
+  match col.vrange with
+  | Some r -> r
+  | None ->
+      let n = Array.length col.dict in
+      let r =
+        if n <= 1 then None
+        else begin
+          let lo = ref max_int and hi = ref min_int and ok = ref true in
+          let i = ref 1 in
+          while !ok && !i < n do
+            (match col.dict.(!i) with
+            | Value.Int x ->
+                if x < !lo then lo := x;
+                if x > !hi then hi := x
+            | _ -> ok := false);
+            incr i
+          done;
+          if !ok then Some (!lo, !hi) else None
+        end
+      in
+      col.vrange <- Some r;
+      r
+
 let equijoin_distinct_count t1 a1 t2 a2 =
   if List.length a1 <> List.length a2 then
     invalid_arg "Column_store.equijoin_distinct_count: width mismatch";
@@ -289,17 +622,37 @@ let equijoin_distinct_count t1 a1 t2 a2 =
   match Hashtbl.find_opt t1.join_counts key with
   | Some n -> n
   | None ->
-      let d1 = distinct_set t1 a1 and d2 = distinct_set t2 a2 in
-      let small, large =
-        if Hashtbl.length d1 <= Hashtbl.length d2 then (d1, d2) else (d2, d1)
+      (* all-Int single-attribute sides with disjoint dictionary value
+         ranges cannot intersect: the count is provably 0 without
+         building either distinct set *)
+      let short_circuit =
+        (Ooc.config ()).zone_pruning
+        &&
+        match (a1, a2) with
+        | [ x ], [ y ] -> (
+            match (int_range (column t1 x), int_range (column t2 y)) with
+            | Some (l1, h1), Some (l2, h2) -> h1 < l2 || h2 < l1
+            | _ -> false)
+        | _ -> false
       in
-      let n =
-        Hashtbl.fold
-          (fun k () acc -> if Hashtbl.mem large k then acc + 1 else acc)
-          small 0
-      in
-      Hashtbl.add t1.join_counts key n;
-      n
+      if short_circuit then begin
+        Ooc.note_ind_short_circuit ();
+        Hashtbl.add t1.join_counts key 0;
+        0
+      end
+      else begin
+        let d1 = distinct_set t1 a1 and d2 = distinct_set t2 a2 in
+        let small, large =
+          if Hashtbl.length d1 <= Hashtbl.length d2 then (d1, d2) else (d2, d1)
+        in
+        let n =
+          Hashtbl.fold
+            (fun k () acc -> if Hashtbl.mem large k then acc + 1 else acc)
+            small 0
+        in
+        Hashtbl.add t1.join_counts key n;
+        n
+      end
 
 (* ------------------------------------------------------------------ *)
 (* partitions and FD checks                                            *)
@@ -309,20 +662,21 @@ let compute_partition t attrs =
   let cols = columns t attrs in
   let width = Array.length cols in
   let grouped : (int list, int list ref) Hashtbl.t =
-    Hashtbl.create (max 16 (t.n_rows / 4))
+    Hashtbl.create (max 16 (min t.n_rows 65536 / 4 + 16))
   in
-  for row = 0 to t.n_rows - 1 do
-    let null = ref false in
-    let key = ref [] in
-    for j = width - 1 downto 0 do
-      let code = cols.(j).codes.(row) in
-      if code = 0 then null := true else key := code :: !key
-    done;
-    if not !null then
-      match Hashtbl.find_opt grouped !key with
-      | Some cell -> cell := row :: !cell
-      | None -> Hashtbl.add grouped !key (ref [ row ])
-  done;
+  iter_blocks t cols (fun bufs len base ->
+      for i = 0 to len - 1 do
+        let null = ref false in
+        let key = ref [] in
+        for j = width - 1 downto 0 do
+          let code = bufs.(j).(i) in
+          if code = 0 then null := true else key := code :: !key
+        done;
+        if not !null then
+          match Hashtbl.find_opt grouped !key with
+          | Some cell -> cell := (base + i) :: !cell
+          | None -> Hashtbl.add grouped !key (ref [ base + i ])
+      done);
   let groups =
     Hashtbl.fold
       (fun _ cell acc ->
@@ -414,10 +768,8 @@ let fd_holds t ~lhs ~rhs =
   | Some v -> v
   | None ->
       let p = partition t lhs in
-      let rcols = columns t rhs in
-      let same r0 r =
-        Array.for_all (fun (c : column) -> c.codes.(r0) = c.codes.(r)) rcols
-      in
+      let readers = Array.map (code_reader t) (columns t rhs) in
+      let same r0 r = Array.for_all (fun rd -> rd r0 = rd r) readers in
       let verdict =
         Array.for_all
           (fun g ->
@@ -564,8 +916,8 @@ let sweep_all rows (gid : int array) n_groups (positions : int array) =
    on first sight, at which point the row seeds every live candidate's
    representative) and compared in place against the live candidates'
    representatives. Saves a full second pass over the rows compared to
-   [lhs_gid] + [sweep_all]; used on the sequential path when no
-   memoized partition is available.
+   [lhs_gid] + [sweep_all]; used on the sequential path when the
+   columns are not already encoded and no memoized partition exists.
 
    With [?retain] (the RHS attribute names aligned with [positions]),
    a completed pass with at least one surviving candidate leaves its
@@ -684,13 +1036,277 @@ let sweep_fused ?retain t lhs rows (positions : int array) =
   | _ -> ());
   verdict
 
+(* ---- zone-map pruning ------------------------------------------- *)
+
+(* Per LHS column, mark the sealed segments that are provably
+   verdict-irrelevant for an FD sweep:
+
+   - an all-NULL segment contributes only exempt rows;
+   - a segment whose non-NULL codes are all distinct within the
+     segment ([z_distinct] = non-null rows) *and* whose [z_min,z_max]
+     code interval is disjoint from every other segment's interval and
+     from the tail's can only found singleton groups, and no row
+     elsewhere can ever join them — singletons cannot refute any
+     candidate, and skipping them leaves every other group intact.
+
+   For a multi-attribute LHS it suffices that *one* column isolates a
+   segment: its code is then unique to the segment, so the full LHS
+   tuple is too. Sound only when the sweep retains no state (a skipped
+   singleton group would be missing from a retained sweep_state, and a
+   later append could wrongly "found" it afresh) — callers pass
+   [retain:None] to enable pruning. *)
+let zone_skippable (lcols : column array) =
+  let nseg = if Array.length lcols = 0 then 0 else Array.length lcols.(0).segs in
+  let skip = Array.make nseg false in
+  if nseg > 0 then
+    Array.iter
+      (fun (lc : column) ->
+        (* tail interval (ignoring NULLs); None when empty *)
+        let tmin = ref max_int and tmax = ref min_int in
+        Array.iter
+          (fun c ->
+            if c > 0 then begin
+              if c < !tmin then tmin := c;
+              if c > !tmax then tmax := c
+            end)
+          lc.tail;
+        (* intervals of every non-empty region, sorted by min code;
+           index -1 is the tail *)
+        let ivs = ref [] in
+        if !tmax >= !tmin then ivs := (!tmin, !tmax, -1) :: !ivs;
+        Array.iteri
+          (fun s seg ->
+            let z = seg.seg_zone in
+            if z.z_nulls = z.z_rows then skip.(s) <- true
+            else ivs := (z.z_min, z.z_max, s) :: !ivs)
+          lc.segs;
+        let ivs = Array.of_list !ivs in
+        Array.sort (fun (a, _, _) (b, _, _) -> compare a b) ivs;
+        (* sorted by min: an interval overlaps some other iff the
+           running max of its predecessors reaches it or its successor
+           starts inside it *)
+        let running_max = ref min_int in
+        Array.iteri
+          (fun i (lo, hi, s) ->
+            (if s >= 0 then
+               let z = lc.segs.(s).seg_zone in
+               let isolated =
+                 !running_max < lo
+                 && (i = Array.length ivs - 1
+                    ||
+                    let lo', _, _ = ivs.(i + 1) in
+                    lo' > hi)
+               in
+               if isolated && z.z_distinct = z.z_rows - z.z_nulls then
+                 skip.(s) <- true);
+            if hi > !running_max then running_max := hi)
+          ivs)
+      lcols;
+  skip
+
+(* ensure a per-candidate group->code representative array can hold
+   group id [n-1] *)
+let irepr_ensure r n =
+  let len = Array.length !r in
+  if n > len then begin
+    let a = Array.make (max n (max 64 (2 * len))) 0 in
+    Array.blit !r 0 a 0 len;
+    r := a
+  end
+
+(* The fused FD batch over dictionary codes: the segment-native
+   counterpart of [sweep_fused], used when LHS and all candidate RHS
+   columns are already encoded — no row materialization, one aligned
+   decode per (segment, live column). Grouping by LHS code is grouping
+   by value (interning is injective per column), and RHS code equality
+   is RHS value equality (NULL's reserved 0 compares like NULL=NULL),
+   so verdicts are identical to the row sweeps.
+
+   With [retain:None] the sweep additionally consults the zone maps
+   ([zone_skippable]) and skips provably verdict-irrelevant segments.
+   With [?retain] the completed pass (if any candidate survives)
+   converts its code-level state into the same value-keyed
+   [sweep_state] a row sweep would have retained — group ids are
+   assigned in first-occurrence row order on both paths, so the
+   retained structure is indistinguishable. *)
+let sweep_fused_codes ?retain t lhs (positions : int array) =
+  let m = Array.length positions in
+  let verdict = Array.make m true in
+  let lcols = columns t lhs in
+  let rcols =
+    Array.map
+      (fun p ->
+        match t.columns.(p) with Some c -> c | None -> assert false)
+      positions
+  in
+  let sr = t.seg_rows in
+  let nseg = if Array.length lcols = 0 then 0 else Array.length lcols.(0).segs in
+  let live = Array.init m Fun.id in
+  let n_live = ref m in
+  let next = ref 0 in
+  let repr = Array.map (fun _ -> ref (Array.make 64 0)) positions in
+  let prune = retain = None && (Ooc.config ()).zone_pruning in
+  let skip = if prune && nseg > 0 then zone_skippable lcols else [||] in
+  (* per-block sweep bodies, one per LHS shape *)
+  let single = Array.length lcols = 1 in
+  let gid_of_code =
+    if single then Array.make (Array.length lcols.(0).dict) (-1) else [||]
+  in
+  let tuple_ids : (int list, int) Hashtbl.t =
+    if single then Hashtbl.create 0
+    else Hashtbl.create (max 16 (min t.n_rows 65536 / 4 + 16))
+  in
+  let seed rbufs i g =
+    for j = 0 to !n_live - 1 do
+      let k = live.(j) in
+      let r = repr.(k) in
+      irepr_ensure r (g + 1);
+      (!r).(g) <- rbufs.(k).(i)
+    done
+  in
+  let refine rbufs i g =
+    let j = ref 0 in
+    while !j < !n_live do
+      let k = live.(!j) in
+      if (!(repr.(k))).(g) = rbufs.(k).(i) then incr j
+      else begin
+        verdict.(k) <- false;
+        decr n_live;
+        live.(!j) <- live.(!n_live)
+      end
+    done
+  in
+  let sweep_block lbufs rbufs len =
+    if single then begin
+      let lbuf = lbufs.(0) in
+      let i = ref 0 in
+      while !n_live > 0 && !i < len do
+        let c = lbuf.(!i) in
+        if c > 0 then begin
+          let g = gid_of_code.(c) in
+          if g >= 0 then refine rbufs !i g
+          else begin
+            let g = !next in
+            incr next;
+            gid_of_code.(c) <- g;
+            seed rbufs !i g
+          end
+        end;
+        incr i
+      done
+    end
+    else begin
+      let w = Array.length lbufs in
+      let i = ref 0 in
+      while !n_live > 0 && !i < len do
+        let null = ref false in
+        let key = ref [] in
+        for j = w - 1 downto 0 do
+          let c = lbufs.(j).(!i) in
+          if c = 0 then null := true else key := c :: !key
+        done;
+        (if not !null then
+           match Hashtbl.find tuple_ids !key with
+           | g -> refine rbufs !i g
+           | exception Not_found ->
+               let g = !next in
+               incr next;
+               Hashtbl.add tuple_ids !key g;
+               seed rbufs !i g);
+        incr i
+      done
+    end
+  in
+  (* sealed segments: decode LHS and live candidates block-aligned *)
+  if nseg > 0 then begin
+    let w = Array.length lcols in
+    let lscratch = Array.init w (fun _ -> Array.make sr 0) in
+    let rscratch = Array.map (fun _ -> Array.make sr 0) positions in
+    let s = ref 0 in
+    while !n_live > 0 && !s < nseg do
+      if prune && skip.(!s) then Ooc.note_zone_skip ()
+      else begin
+        Ooc.note_zone_sweep ();
+        for j = 0 to w - 1 do
+          Packed_codes.decode_into (seg_payload lcols.(j).segs.(!s))
+            lscratch.(j)
+        done;
+        for j = 0 to !n_live - 1 do
+          let k = live.(j) in
+          Packed_codes.decode_into (seg_payload rcols.(k).segs.(!s))
+            rscratch.(k)
+        done;
+        sweep_block lscratch rscratch sr
+      end;
+      incr s
+    done
+  end;
+  (* open tail: plain arrays, never skipped *)
+  if !n_live > 0 && Array.length lcols.(0).tail > 0 then
+    sweep_block
+      (Array.map (fun (c : column) -> c.tail) lcols)
+      (Array.map (fun (c : column) -> c.tail) rcols)
+      (Array.length lcols.(0).tail);
+  (* retention: translate code-level state to the value-keyed form the
+     delta passes advance (pruning is off whenever we get here) *)
+  (match retain with
+  | Some names when !n_live > 0 ->
+      let keys =
+        if single then begin
+          let int_ids : (int, int) Hashtbl.t =
+            Hashtbl.create (max 16 !next)
+          in
+          let ids : (Value.t, int) Hashtbl.t = Hashtbl.create 16 in
+          let dict = lcols.(0).dict in
+          Array.iteri
+            (fun c g ->
+              if g >= 0 then
+                match dict.(c) with
+                | Value.Int x -> Hashtbl.replace int_ids x g
+                | v -> Hashtbl.replace ids v g)
+            gid_of_code;
+          Scalar_keys (int_ids, ids)
+        end
+        else begin
+          let ids : (Value.t list, int) Hashtbl.t =
+            Hashtbl.create (max 16 (Hashtbl.length tuple_ids))
+          in
+          let lcols_l = Array.to_list lcols in
+          Hashtbl.iter
+            (fun key g ->
+              Hashtbl.replace ids
+                (List.map2 (fun (lc : column) c -> lc.dict.(c)) lcols_l key)
+                g)
+            tuple_ids;
+          Tuple_keys ids
+        end
+      in
+      let reprs = Hashtbl.create (max 4 !n_live) in
+      for j = 0 to !n_live - 1 do
+        let k = live.(j) in
+        let dict = rcols.(k).dict in
+        let codes = !(repr.(k)) in
+        Hashtbl.replace reprs names.(k)
+          (ref (Array.init !next (fun g -> dict.(codes.(g)))))
+      done;
+      Hashtbl.replace t.fd_sweeps lhs
+        {
+          sw_groups = !next;
+          sw_keys = keys;
+          sw_lhs_pos = Array.of_list (List.map (pos_of t) lhs);
+          sw_reprs = reprs;
+        }
+  | _ -> ());
+  verdict
+
 (* The batched FD check: one LHS partition pass answers every RHS
    attribute by refinement sweeps, instead of [|rhs|] independent full
-   scans. Nothing is dictionary-encoded on this path — every attribute
-   is read exactly once per batch, so an encode pass would cost more
-   than it saves; the LHS collapses to a dense group-id array and the
-   RHS candidates are swept row-major over the raw values (fused into
-   a single early-exiting pass when sequential, one sweep per worker
+   scans. When every needed column is already encoded (Builder-loaded
+   or warmed stores) the batch runs segment-by-segment over the packed
+   codes — no row materialization, zone-map pruning on cold stores;
+   otherwise the LHS collapses to a dense group-id array and the RHS
+   candidates are swept row-major over the raw values (fused into a
+   single early-exiting pass when sequential, one sweep per worker
    under [pool]). Verdicts land by index, so the result order is the
    submission order whatever the domain count. Fresh verdicts are
    memoized only from the submitting domain (the verdict table is not
@@ -707,30 +1323,37 @@ let fd_batch ?pool t ~lhs ~rhs =
   (match misses with
   | [] -> ()
   | _ ->
-      (* force the row-array cache on the submitting domain; workers
-         only read it *)
-      let rows = Table.rows t.table in
       let misses = Array.of_list misses in
       let positions = Array.map (fun i -> pos_of t rhs_arr.(i)) misses in
+      let retain_names () =
+        if t.memoized then Some (Array.map (fun i -> rhs_arr.(i)) misses)
+        else None
+      in
       let res =
         match pool with
         | Some pool when Domain_pool.size pool > 1 && Array.length misses > 1
           ->
+            (* force the row-array cache on the submitting domain;
+               workers only read it *)
+            let rows = Table.rows t.table in
             let gid, n_groups = lhs_gid t lhs in
             Domain_pool.map_array pool
               (fun pos -> sweep_one rows gid n_groups pos)
               positions
         | _ ->
-            if Hashtbl.mem t.partitions lhs then
+            let all_encoded =
+              List.for_all (fun a -> t.columns.(pos_of t a) <> None) lhs
+              && Array.for_all (fun p -> t.columns.(p) <> None) positions
+            in
+            if all_encoded then
+              sweep_fused_codes ?retain:(retain_names ()) t lhs positions
+            else if Hashtbl.mem t.partitions lhs then
+              let rows = Table.rows t.table in
               let gid, n_groups = lhs_gid t lhs in
               sweep_all rows gid n_groups positions
             else
-              let retain =
-                if t.memoized then
-                  Some (Array.map (fun i -> rhs_arr.(i)) misses)
-                else None
-              in
-              sweep_fused ?retain t lhs rows positions
+              let rows = Table.rows t.table in
+              sweep_fused ?retain:(retain_names ()) t lhs rows positions
       in
       Array.iteri (fun k i -> verdicts.(i) <- res.(k)) misses;
       Array.iter
@@ -749,16 +1372,17 @@ let group_rows t attrs =
   let cols = columns t attrs in
   let width = Array.length cols in
   let grouped : (int list, int list) Hashtbl.t =
-    Hashtbl.create (max 16 (t.n_rows / 4))
+    Hashtbl.create (max 16 (min t.n_rows 65536 / 4 + 16))
   in
-  for row = 0 to t.n_rows - 1 do
-    let key = ref [] in
-    for j = width - 1 downto 0 do
-      key := cols.(j).codes.(row) :: !key
-    done;
-    let prev = try Hashtbl.find grouped !key with Not_found -> [] in
-    Hashtbl.replace grouped !key (row :: prev)
-  done;
+  iter_blocks t cols (fun bufs len base ->
+      for i = 0 to len - 1 do
+        let key = ref [] in
+        for j = width - 1 downto 0 do
+          key := bufs.(j).(i) :: !key
+        done;
+        let prev = try Hashtbl.find grouped !key with Not_found -> [] in
+        Hashtbl.replace grouped !key ((base + i) :: prev)
+      done);
   let out = Hashtbl.create (max 16 (Hashtbl.length grouped)) in
   Hashtbl.iter
     (fun key members -> Hashtbl.add out (decode cols key) members)
@@ -778,6 +1402,47 @@ let stats t =
   }
 
 (* ------------------------------------------------------------------ *)
+(* residency reporting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type residency = {
+  sealed_segments : int;
+  resident_segments : int;
+  spilled_segments : int;
+  tail_rows : int;
+  width_histogram : (int * int) list;
+}
+
+let residency t =
+  let sealed = ref 0 and resident = ref 0 and spilled = ref 0 in
+  let tail = ref 0 in
+  let widths : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (c : column) ->
+          tail := Array.length c.tail;
+          Array.iter
+            (fun seg ->
+              incr sealed;
+              (match seg.seg_data with
+              | Seg_mem _ -> incr resident
+              | Seg_disk -> incr spilled);
+              Hashtbl.replace widths seg.seg_width
+                (1 + Option.value ~default:0
+                       (Hashtbl.find_opt widths seg.seg_width)))
+            c.segs)
+    t.columns;
+  {
+    sealed_segments = !sealed;
+    resident_segments = !resident;
+    spilled_segments = !spilled;
+    tail_rows = !tail;
+    width_histogram =
+      List.sort compare (Hashtbl.fold (fun w n acc -> (w, n) :: acc) widths []);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* incremental refresh (delta maintenance)                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -794,31 +1459,73 @@ type refresh_summary =
       (* per memoized attribute list, the keys newly added *)
   | Sum_invalidated
 
-let intern_of t pos =
+let intern_of t pos (col : column) =
   match t.interns.(pos) with
   | Some h -> h
   | None ->
       (* Builder-made stores arrive without intern tables: rebuild one
-         from the dictionary in O(|dict|). Dead entries (post-delete)
-         intern back to their old code, which revives them exactly. *)
+         from the dictionary in O(|dict|). Dead tail codes are
+         reclaimed before this runs (see [reclaim_tail]), so every
+         entry interned here is live. *)
       let h = Hashtbl.create 256 in
-      (match t.columns.(pos) with
-      | Some c ->
-          Array.iteri
-            (fun code v -> if code > 0 then Hashtbl.replace h v code)
-            c.dict
-      | None -> ());
+      Array.iteri
+        (fun code v -> if code > 0 then Hashtbl.replace h v code)
+        col.dict;
       t.interns.(pos) <- Some h;
       h
 
-(* extend one encoded column with appended rows: intern each cell
-   (extending the dictionary on first sight), append the codes *)
+(* Compact dead dictionary codes out of the tail after a tail-only
+   delete: codes >= sealed_dict that no longer occur are dropped from
+   the dictionary and the surviving suffix codes are remapped by first
+   occurrence — exactly the dictionary a fresh encode of the surviving
+   rows would build, so downstream consumers cannot tell the store was
+   ever mutated. Sealed segments are untouched (their codes are all
+   below [sealed_dict] and provably live). Runs before any append or
+   seal while [tail_exact] is false. *)
+let reclaim_tail t pos (col : column) =
+  if col.tail_exact then col
+  else begin
+    let sd = col.sealed_dict in
+    let dlen = Array.length col.dict in
+    let nsuf = dlen - sd in
+    if nsuf <= 0 then { col with tail_exact = true }
+    else begin
+      let live = Array.make nsuf false in
+      Array.iter (fun c -> if c >= sd then live.(c - sd) <- true) col.tail;
+      if Array.for_all Fun.id live then { col with tail_exact = true }
+      else begin
+        let remap = Array.make nsuf 0 in
+        let next = ref sd in
+        for j = 0 to nsuf - 1 do
+          if live.(j) then begin
+            remap.(j) <- !next;
+            incr next
+          end
+        done;
+        let dict = Array.make !next Value.Null in
+        Array.blit col.dict 0 dict 0 sd;
+        for j = 0 to nsuf - 1 do
+          if live.(j) then dict.(remap.(j)) <- col.dict.(sd + j)
+        done;
+        let tail =
+          Array.map (fun c -> if c >= sd then remap.(c - sd) else c) col.tail
+        in
+        t.interns.(pos) <- None;
+        { col with tail; dict; tail_exact = true; vrange = None }
+      end
+    end
+  end
+
+(* extend one encoded column with appended rows: reclaim any dead tail
+   codes, intern each cell (extending the dictionary on first sight),
+   grow the tail and seal full chunks off its front *)
 let extend_column t pos col tups =
+  let col = reclaim_tail t pos col in
   let k = Array.length tups in
-  let n0 = Array.length col.codes in
-  let codes = Array.make (n0 + k) 0 in
-  Array.blit col.codes 0 codes 0 n0;
-  let intern = intern_of t pos in
+  let t0 = Array.length col.tail in
+  let codes = Array.make (t0 + k) 0 in
+  Array.blit col.tail 0 codes 0 t0;
+  let intern = intern_of t pos col in
   let rev_new = ref [] in
   let next = ref (Array.length col.dict) in
   let nulls = ref col.nulls in
@@ -828,40 +1535,134 @@ let extend_column t pos col tups =
       if Value.is_null v then incr nulls
       else
         match Hashtbl.find_opt intern v with
-        | Some c -> codes.(n0 + i) <- c
+        | Some c -> codes.(t0 + i) <- c
         | None ->
             let c = !next in
             incr next;
             Hashtbl.add intern v c;
             rev_new := v :: !rev_new;
-            codes.(n0 + i) <- c)
+            codes.(t0 + i) <- c)
     tups;
   let dict =
     match !rev_new with
     | [] -> col.dict
     | l -> Array.append col.dict (Array.of_list (List.rev l))
   in
-  { codes; dict; nulls = !nulls; exact_dict = col.exact_dict }
+  let sr = t.seg_rows in
+  let total = t0 + k in
+  let extra = total / sr in
+  if extra = 0 then
+    { col with tail = codes; dict; nulls = !nulls; vrange = None }
+  else begin
+    let fresh = Array.init extra (fun s -> seal_segment ~seg_rows:sr codes (s * sr)) in
+    {
+      segs = Array.append col.segs fresh;
+      tail = Array.sub codes (extra * sr) (total - (extra * sr));
+      dict;
+      nulls = !nulls;
+      (* the reclaim above restored first-occurrence order over the
+         tail, so codes at or below a freshly sealed maximum all occur
+         in the sealed region — the invariant sealed_dict certifies *)
+      sealed_dict = max_sealed_code fresh col.sealed_dict;
+      tail_exact = true;
+      vrange = None;
+    }
+  end
 
-(* drop the deleted row positions from the codes (dictionary kept:
-   entries may go dead, so the exact-dict invariant is lost) *)
-let compact_column col idxs =
+(* Drop deleted row positions. Tail-only deletes (the common delta
+   shape) just compact the tail and clear [tail_exact] — the next
+   append or distinct read reclaims or scans the tail alone. Deletes
+   reaching sealed rows stream-recompact the whole column: codes are
+   remapped by first occurrence over the surviving rows and dead
+   dictionary entries are dropped, reproducing a fresh encode
+   exactly. *)
+let compact_column t pos (col : column) idxs =
+  let sr = t.seg_rows in
+  let ns = Array.length col.segs * sr in
   let k = Array.length idxs in
-  let n0 = Array.length col.codes in
-  let codes = Array.make (n0 - k) 0 in
-  let nulls = ref col.nulls in
-  let j = ref 0 and d = ref 0 in
-  for i = 0 to n0 - 1 do
-    if !d < k && idxs.(!d) = i then begin
-      if col.codes.(i) = 0 then decr nulls;
-      incr d
-    end
-    else begin
-      codes.(!j) <- col.codes.(i);
-      incr j
-    end
-  done;
-  { codes; dict = col.dict; nulls = !nulls; exact_dict = false }
+  if k = 0 then col
+  else if idxs.(0) >= ns then begin
+    (* tail-only *)
+    let t0 = Array.length col.tail in
+    let tail = Array.make (t0 - k) 0 in
+    let nulls = ref col.nulls in
+    let j = ref 0 and d = ref 0 in
+    for i = 0 to t0 - 1 do
+      if !d < k && idxs.(!d) = ns + i then begin
+        if col.tail.(i) = 0 then decr nulls;
+        incr d
+      end
+      else begin
+        tail.(!j) <- col.tail.(i);
+        incr j
+      end
+    done;
+    { col with tail; nulls = !nulls; tail_exact = false; vrange = None }
+  end
+  else begin
+    let dlen = Array.length col.dict in
+    let remap = Array.make dlen (-1) in
+    let rev_dict = ref [] in
+    let next = ref 1 in
+    let nulls = ref 0 in
+    let segs_acc = ref [] in
+    let buf = Array.make sr 0 in
+    let blen = ref 0 in
+    let push c =
+      buf.(!blen) <- c;
+      incr blen;
+      if !blen = sr then begin
+        segs_acc := seal_segment ~seg_rows:sr buf 0 :: !segs_acc;
+        blen := 0
+      end
+    in
+    let d = ref 0 in
+    let consume base len (codes : int array) =
+      for i = 0 to len - 1 do
+        if !d < k && idxs.(!d) = base + i then incr d
+        else begin
+          let c = codes.(i) in
+          if c = 0 then begin
+            incr nulls;
+            push 0
+          end
+          else begin
+            let m = remap.(c) in
+            if m >= 0 then push m
+            else begin
+              let m = !next in
+              incr next;
+              remap.(c) <- m;
+              rev_dict := col.dict.(c) :: !rev_dict;
+              push m
+            end
+          end
+        end
+      done
+    in
+    let scratch = if Array.length col.segs > 0 then Array.make sr 0 else [||] in
+    Array.iteri
+      (fun s seg ->
+        Packed_codes.decode_into (seg_payload seg) scratch;
+        consume (s * sr) sr scratch)
+      col.segs;
+    consume ns (Array.length col.tail) col.tail;
+    let segs = Array.of_list (List.rev !segs_acc) in
+    let col' =
+      {
+        segs;
+        tail = Array.sub buf 0 !blen;
+        dict = Array.of_list (Value.Null :: List.rev !rev_dict);
+        nulls = !nulls;
+        sealed_dict = max_sealed_code segs 1;
+        tail_exact = true;
+        vrange = None;
+      }
+    in
+    release_column col;
+    t.interns.(pos) <- None;
+    col'
+  end
 
 (* NULL-free value projection, in attribute order *)
 let project_opt (poss : int array) tup =
@@ -1011,7 +1812,8 @@ let apply_delta t ~summary delta =
       Array.iteri
         (fun pos c ->
           match c with
-          | Some col -> t.columns.(pos) <- Some (extend_column t pos col tups)
+          | Some col ->
+              t.columns.(pos) <- Some (extend_column t pos col tups)
           | None -> ())
         t.columns;
       let added = patch_distinct_append t tups in
@@ -1028,7 +1830,7 @@ let apply_delta t ~summary delta =
       Array.iteri
         (fun pos c ->
           match c with
-          | Some col -> t.columns.(pos) <- Some (compact_column col idxs)
+          | Some col -> t.columns.(pos) <- Some (compact_column t pos col idxs)
           | None -> ())
         t.columns;
       (* value-derived memos are dropped wholesale; only verdicts a
@@ -1053,6 +1855,9 @@ let delta_size = function
 let total_delta_rows ds = List.fold_left (fun acc d -> acc + delta_size d) 0 ds
 
 let rebuild_in_place t table =
+  Array.iter
+    (function Some c -> release_column c | None -> ())
+    t.columns;
   t.table <- table;
   t.uid <- Atomic.fetch_and_add uid_counter 1;
   t.built_version <- Table.version table;
@@ -1225,10 +2030,6 @@ let refresh_all ?delta_fraction tables =
     (function None -> None | Some (_, _, outcome, _) -> Some outcome)
     items
 
-(* ------------------------------------------------------------------ *)
-(* streaming builder                                                   *)
-(* ------------------------------------------------------------------ *)
-
 module Builder = struct
   type vec = { mutable data : int array; mutable len : int }
 
@@ -1267,7 +2068,8 @@ module Builder = struct
 
   (* the int side keys slots directly by value; [min_int] marks an
      empty slot (Int min_int itself goes through the boxed side) *)
-  let ntab_make cap = Array.init (2 * cap) (fun j -> if j land 1 = 0 then min_int else 0)
+  let ntab_make cap =
+    Array.init (2 * cap) (fun j -> if j land 1 = 0 then min_int else 0)
 
   let vtab_create () =
     {
@@ -1370,12 +2172,16 @@ module Builder = struct
   type b = {
     b_rel : Relation.t;
     b_arity : int;
-    b_codes : vec array;  (* per attribute position, row-aligned *)
+    b_seg_rows : int;  (* captured at [create]: the finished store's
+                          fixed segment size *)
+    b_codes : vec array;  (* open tail per attribute, row-aligned *)
+    b_segs : segment list array;  (* sealed so far, reversed *)
     b_intern : vtab array;
     b_dict : dvec array;  (* per column, indexed by code *)
     b_next : int array;  (* next free code per column *)
     b_nulls : int array;
     mutable b_rows : int;
+    mutable b_tail_len : int;  (* rows currently in the open vecs *)
   }
 
   type t = b
@@ -1385,12 +2191,15 @@ module Builder = struct
     {
       b_rel = rel;
       b_arity = arity;
+      b_seg_rows = (Ooc.config ()).segment_rows;
       b_codes = Array.init arity (fun _ -> vec_create ());
+      b_segs = Array.make arity [];
       b_intern = Array.init arity (fun _ -> vtab_create ());
       b_dict = Array.init arity (fun _ -> dvec_create ());
       b_next = Array.make arity 1;
       b_nulls = Array.make arity 0;
       b_rows = 0;
+      b_tail_len = 0;
     }
 
   let rows b = b.b_rows
@@ -1441,6 +2250,20 @@ module Builder = struct
           c
         end
 
+  (* every column has exactly [b_seg_rows] pending codes: seal all of
+     them at once so the finished segments stay row-aligned across the
+     store's columns. The sealed codes leave the heap-resident vecs
+     immediately (packed, and spillable under budget), which is what
+     keeps a streaming ingest's footprint bounded by the tail. *)
+  let seal_all b =
+    for p = 0 to b.b_arity - 1 do
+      let v = b.b_codes.(p) in
+      b.b_segs.(p) <-
+        seal_segment ~seg_rows:b.b_seg_rows v.data 0 :: b.b_segs.(p);
+      v.len <- 0
+    done;
+    b.b_tail_len <- 0
+
   let append b codes =
     if Array.length codes <> b.b_arity then
       invalid_arg "Column_store.Builder.append: arity mismatch";
@@ -1449,48 +2272,96 @@ module Builder = struct
       vec_push b.b_codes.(p) c;
       if c = 0 then b.b_nulls.(p) <- b.b_nulls.(p) + 1
     done;
-    b.b_rows <- b.b_rows + 1
+    b.b_rows <- b.b_rows + 1;
+    b.b_tail_len <- b.b_tail_len + 1;
+    if b.b_arity > 0 && b.b_tail_len = b.b_seg_rows then seal_all b
 
   (* Merge [src] (a chunk-local builder) onto the end of [dst].
      Appending chunk dictionaries in chunk order reproduces the global
      first-occurrence interning order, so the merged store is identical
-     to a sequential build over the concatenated rows. *)
+     to a sequential build over the concatenated rows. Rows stream
+     through row-wise (decoding [src]'s sealed segments one at a time)
+     so [dst]'s seal boundaries stay aligned regardless of where they
+     fell in [src]; [src]'s segments are released as they drain. *)
   let merge dst src =
     if dst.b_arity <> src.b_arity then
       invalid_arg "Column_store.Builder.merge: arity mismatch";
-    for p = 0 to dst.b_arity - 1 do
-      let local = src.b_dict.(p) in
-      let remap = Array.make local.dlen 0 in
-      for c = 1 to local.dlen - 1 do
-        remap.(c) <- intern dst p local.ddata.(c)
+    if dst.b_seg_rows <> src.b_seg_rows then
+      invalid_arg "Column_store.Builder.merge: segment size mismatch";
+    let arity = dst.b_arity in
+    let remap =
+      Array.init arity (fun p ->
+          let local = src.b_dict.(p) in
+          let r = Array.make local.dlen 0 in
+          for c = 1 to local.dlen - 1 do
+            r.(c) <- intern dst p local.ddata.(c)
+          done;
+          r)
+    in
+    let sr = src.b_seg_rows in
+    let nseg = if arity = 0 then 0 else List.length src.b_segs.(0) in
+    if nseg > 0 then begin
+      let seg_arrays =
+        Array.map (fun l -> Array.of_list (List.rev l)) src.b_segs
+      in
+      let scratch = Array.init arity (fun _ -> Array.make sr 0) in
+      for s = 0 to nseg - 1 do
+        for p = 0 to arity - 1 do
+          Packed_codes.decode_into (seg_payload seg_arrays.(p).(s)) scratch.(p)
+        done;
+        for i = 0 to sr - 1 do
+          for p = 0 to arity - 1 do
+            vec_push dst.b_codes.(p) remap.(p).(scratch.(p).(i))
+          done;
+          dst.b_rows <- dst.b_rows + 1;
+          dst.b_tail_len <- dst.b_tail_len + 1;
+          if dst.b_tail_len = dst.b_seg_rows then seal_all dst
+        done
       done;
-      let sv = src.b_codes.(p) in
-      let dv = dst.b_codes.(p) in
-      for i = 0 to sv.len - 1 do
-        vec_push dv remap.(sv.data.(i))
+      Array.iter (Array.iter release_segment) seg_arrays
+    end;
+    for i = 0 to src.b_tail_len - 1 do
+      for p = 0 to arity - 1 do
+        vec_push dst.b_codes.(p) remap.(p).(src.b_codes.(p).data.(i))
       done;
-      dst.b_nulls.(p) <- dst.b_nulls.(p) + src.b_nulls.(p)
+      dst.b_rows <- dst.b_rows + 1;
+      dst.b_tail_len <- dst.b_tail_len + 1;
+      if arity > 0 && dst.b_tail_len = dst.b_seg_rows then seal_all dst
     done;
-    dst.b_rows <- dst.b_rows + src.b_rows
+    (* NULL counts were tallied by [src]'s own appends *)
+    for p = 0 to arity - 1 do
+      dst.b_nulls.(p) <- dst.b_nulls.(p) + src.b_nulls.(p)
+    done
 
   let finish b =
     let cols =
       Array.init b.b_arity (fun p ->
+          let segs = Array.of_list (List.rev b.b_segs.(p)) in
           {
-            codes = Array.sub b.b_codes.(p).data 0 b.b_codes.(p).len;
+            segs;
+            tail = Array.sub b.b_codes.(p).data 0 b.b_codes.(p).len;
             dict = Array.sub b.b_dict.(p).ddata 0 b.b_dict.(p).dlen;
             nulls = b.b_nulls.(p);
-            exact_dict = true;
+            sealed_dict = max_sealed_code segs 1;
+            tail_exact = true;
+            vrange = None;
           })
     in
     let n = b.b_rows in
+    (* full-row materialization is the slow path by design: decode
+       every column once, then assemble *)
     let produce () =
+      let mats = Array.map column_codes cols in
       Array.init n (fun i ->
-          Array.map (fun (c : column) -> c.dict.(c.codes.(i))) cols)
+          Array.mapi (fun p (c : column) -> c.dict.(mats.(p).(i))) cols)
     in
     let table = Table.create_deferred b.b_rel ~size:n produce in
-    let store = make_store ~memoized:true table in
+    let store = make_store ~seg_rows:b.b_seg_rows ~memoized:true table in
     Array.iteri (fun p c -> store.columns.(p) <- Some c) cols;
     Table.set_ext_cache table (Store store);
     table
 end
+
+
+
+

@@ -1,4 +1,5 @@
-(** Dictionary-encoded columnar extension store with shared caches.
+(** Dictionary-encoded, segmented, out-of-core columnar extension
+    store with shared caches.
 
     Every counting primitive of the paper — [||r[X]||] (§2), the
     equi-join intersections of IND-Discovery (§6.1), the FD tests of
@@ -10,35 +11,57 @@
     TANE-style stripped partitions, FD verdicts, cross-table equi-join
     counts — is memoized inside the store, keyed by attribute list.
 
+    {b Segments.} A column is not one flat code array but a sequence of
+    sealed, immutable, fixed-row-count segments (default
+    {!Ooc.default_segment_rows} rows; [Engine.make ?segment_rows]
+    overrides) followed by an open mutable tail. Sealed segments are
+    bit-packed to the dictionary width (1/2/4/8/16/32 bits per code)
+    and carry a zone map — min/max code, NULL count, exact distinct
+    count — consulted by the verification sweeps: an FD sweep skips a
+    segment whose zone map proves it cannot flip any verdict, and an
+    IND probe over all-integer dictionaries with disjoint value ranges
+    short-circuits to zero without touching a distinct set. Under a
+    configured residency budget ({!Ooc.configure}, or
+    [Engine.make ?spill_dir ?resident_budget_words]) cold segments
+    spill their packed image to disk and are mapped back on demand
+    ([Unix.map_file]); the packed byte image {e is} the spill file, so
+    the spill round-trip cannot alter a code.
+
     The memoized store instance lives in the table's {!Table.ext}
     cache slot. Mutations no longer clear the slot: a retrieved store
     compares its build version against {!Table.version} and refreshes
     itself in place by replaying the table's mutation log
-    ({!Table.deltas_since}) — extending dictionaries and code columns,
-    patching distinct sets and witness counts, re-checking retained FD
-    sweep states in O(delta) — with a fallback to full rebuild when the
-    delta exceeds a configurable fraction of the extension. Either way
-    a store handed out by {!of_table} is never stale. A fresh throwaway
-    store (cold cache) can be built with {!build}.
+    ({!Table.deltas_since}) — appending into the open tail (sealing
+    full chunks as they accumulate), patching distinct sets and witness
+    counts, re-checking retained FD sweep states in O(delta) — with a
+    fallback to full rebuild when the delta exceeds a configurable
+    fraction of the extension. Either way a store handed out by
+    {!of_table} is never stale. A fresh throwaway store (cold cache)
+    can be built with {!build}.
 
     Equality semantics are identical to the row-based primitives
     (structural equality on [Value.t], NULL skipped by distinct
     counting, NULL = NULL for grouping), so the columnar engine agrees
     verdict-for-verdict with [Table] / [Fd_infer] — property-tested by
-    the engine-equivalence suite. *)
+    the engine-equivalence suite, and by the out-of-core suite on both
+    sides of the spill threshold. *)
 
 type t
 
-type column = private {
-  codes : int array;  (** per-row dictionary codes; 0 is NULL *)
-  dict : Value.t array;  (** code -> value; [dict.(0) = Null] *)
-  nulls : int;  (** number of NULL rows in the column *)
-  exact_dict : bool;
-      (** every dict entry (beyond 0) occurs in [codes]. True on build
-          and under appends; deletions may orphan dictionary entries,
-          after which single-attribute distinct counts fall back to a
-          presence pass over the codes *)
-}
+type column
+(** One attribute's encoded form: sealed bit-packed segments plus an
+    open tail, sharing one dictionary. Abstract — the flat views below
+    decode on demand (oracle/test accessors, not hot paths). *)
+
+val column_codes : column -> int array
+(** Decoded flat per-row code array (0 is NULL), concatenating every
+    sealed segment and the tail. Allocates; test/oracle use only. *)
+
+val column_dict : column -> Value.t array
+(** code -> value; [dict.(0) = Null]. Do not mutate. *)
+
+val column_nulls : column -> int
+(** Number of NULL rows in the column. *)
 
 type partition = private {
   groups : int array array;  (** equivalence classes of size ≥ 2 *)
@@ -66,7 +89,8 @@ val of_table : ?delta_fraction:float -> Table.t -> t
 val build : Table.t -> t
 (** A fresh private store ignoring (and not touching) the memo slot —
     cold-cache measurements and short-lived tables. Not
-    delta-maintained (it is rebuilt every call anyway). *)
+    delta-maintained (it is rebuilt every call anyway). Segment size
+    comes from the current {!Ooc.config}. *)
 
 type refresh_outcome =
   | Store_fresh  (** store already matched the table version *)
@@ -126,7 +150,9 @@ val distinct_set : t -> string list -> (Value.t list, unit) Hashtbl.t
 
 val count_distinct : t -> string list -> int
 (** [||r[X]||]. Single-attribute counts are read off the dictionary
-    with no row pass. *)
+    with no row pass (after deletes have been compacted away, the
+    dictionary holds only live codes; a tail-only liveness pass covers
+    the window between a tail delete and the next reclaim). *)
 
 val project_distinct : t -> string list -> Value.t list list
 
@@ -139,16 +165,21 @@ val unique : t -> string list -> bool
 
 val equijoin_distinct_count : t -> string list -> t -> string list -> int
 (** [||r1[x1] ⋈ r2[x2]||] by intersecting the two memoized distinct
-    sets (iterating the smaller). The count itself is memoized in the
-    left store, keyed by [(x1, uid r2, x2)] — a store refreshed or
-    rebuilt after a mutation renews its uid, so entries can never be
-    served stale; {!refresh_all} patches and rekeys them exactly. *)
+    sets (iterating the smaller). When both sides are single integer
+    attributes with disjoint dictionary value ranges, the count
+    short-circuits to 0 without materializing either distinct set (the
+    dictionary range is a superset of the live values, so disjointness
+    is a proof). The count itself is memoized in the left store, keyed
+    by [(x1, uid r2, x2)] — a store refreshed or rebuilt after a
+    mutation renews its uid, so entries can never be served stale;
+    {!refresh_all} patches and rekeys them exactly. *)
 
 val partition : t -> string list -> partition
 (** Memoized stripped partition on the given attributes (NULL-holding
-    rows dropped). Built from the code columns when they are already
-    encoded, else in one pass over the raw rows without encoding; both
-    builders group by the same structural equality. *)
+    rows dropped). Built segment-by-segment from the code columns when
+    they are already encoded, else in one pass over the raw rows
+    without encoding; both builders group by the same structural
+    equality. *)
 
 val partition_error : partition -> int
 (** [Σ (|c| - 1)] over groups. *)
@@ -162,16 +193,18 @@ val fd_holds : t -> lhs:string list -> rhs:string list -> bool
 val fd_batch :
   ?pool:Domain_pool.t -> t -> lhs:string list -> rhs:string list ->
   (string * bool) list
-(** Batched form of {!fd_holds} for one shared LHS: the [lhs] stripped
-    partition is computed once and every [rhs] attribute is answered by
-    a single refinement sweep over it, instead of [|rhs|] independent
-    full passes. Nothing is dictionary-encoded on this path (each
-    attribute is read exactly once, so an encode pass would outweigh
-    the batch win); sweeps run over raw values, or over codes for
-    columns that happen to be warm. Already-memoized verdicts are
-    reused; fresh ones are memoized. With [pool], the sweeps fan out
-    over the worker domains; results are returned in [rhs] order
-    regardless (see the {!Domain_pool} determinism contract). *)
+(** Batched form of {!fd_holds} for one shared LHS: group once on the
+    LHS, answer every [rhs] attribute in a single refinement sweep.
+    When all the touched columns are already encoded, the sweep runs
+    segment-by-segment over the packed codes — never materializing the
+    row array — and skips segments whose zone maps prove they cannot
+    flip any verdict (a segment all of whose LHS codes are distinct
+    within the segment and disjoint from every other segment's range
+    holds only singleton groups). Otherwise sweeps run over raw values.
+    Already-memoized verdicts are reused; fresh ones are memoized. With
+    [pool], the sweeps fan out over the worker domains; results are
+    returned in [rhs] order regardless (see the {!Domain_pool}
+    determinism contract). *)
 
 val group_rows : t -> string list -> (Value.t list, int list) Hashtbl.t
 (** Row indices grouped by projection with NULL as an ordinary value —
@@ -189,10 +222,27 @@ type stats = {
 val stats : t -> stats
 (** Cache occupancy, for tests and instrumentation. *)
 
+type residency = {
+  sealed_segments : int;
+  resident_segments : int;  (** sealed segments with an in-memory payload *)
+  spilled_segments : int;  (** sealed segments currently on disk only *)
+  tail_rows : int;  (** rows in the open tail *)
+  width_histogram : (int * int) list;
+      (** pack width in bits (0 = raw) -> sealed segment count *)
+}
+
+val residency : t -> residency
+(** Segment residency of this store's encoded columns, for
+    [Engine.describe] and serve status. Does not touch payloads (a
+    spilled segment stays spilled). *)
+
 (** Streaming store construction: the ingest path appends dictionary
-    codes column-by-column as rows arrive, so the store exists the
-    moment loading finishes — no second encode pass, and no eager tuple
-    array (see {!Table.create_deferred}).
+    codes column-by-column as rows arrive, sealing every full segment
+    on the fly — the resident footprint of a bulk load is the open
+    tail plus whatever sealed segments the budget keeps warm, never
+    the whole extension — so the store exists the moment loading
+    finishes: no second encode pass, and no eager tuple array (see
+    {!Table.create_deferred}).
 
     Interning is the same polymorphic-hashtable structural equality as
     the post-hoc encoder, and codes are assigned in row order, so a
@@ -203,6 +253,7 @@ module Builder : sig
   type t = b
 
   val create : Relation.t -> t
+  (** Captures the segment size from the current {!Ooc.config}. *)
 
   val intern : t -> int -> Value.t -> int
   (** [intern b pos v] is the dictionary code for [v] in the column at
@@ -213,7 +264,8 @@ module Builder : sig
 
   val append : t -> int array -> unit
   (** Append one row of codes (one per attribute position, in
-      declaration order). The array is copied; callers may reuse it. *)
+      declaration order). The array is copied; callers may reuse it.
+      Seals a segment whenever the open tail fills. *)
 
   val rows : t -> int
 
@@ -221,8 +273,9 @@ module Builder : sig
   (** [merge dst src] appends [src]'s rows after [dst]'s, re-interning
       [src]'s chunk-local dictionaries with a code-remap sweep. Merging
       parallel chunks in input order reproduces the sequential
-      first-occurrence dictionaries exactly. [src] must not be used
-      afterwards. *)
+      first-occurrence dictionaries exactly; [dst]'s seal boundaries
+      stay aligned no matter where [src]'s fell, and [src]'s segments
+      are released as they drain. [src] must not be used afterwards. *)
 
   val finish : t -> Table.t
   (** Freeze the builder into a lazily-materialized table (see

@@ -66,10 +66,22 @@ val make :
   ?max_heap_words:int ->
   ?on_exhausted:[ `Partial | `Fail ] ->
   ?delta_fraction:float ->
+  ?spill_dir:string ->
+  ?resident_budget_words:int ->
+  ?segment_rows:int ->
+  ?zone_pruning:bool ->
   unit ->
   t
 (** Defaults: [Columnar], [Cache_shared], [Sequential], {!no_budget},
-    [Column_store.default_delta_fraction] — i.e. {!default}. *)
+    [Column_store.default_delta_fraction] — i.e. {!default}.
+
+    The out-of-core parameters ([spill_dir], [resident_budget_words],
+    [segment_rows], [zone_pruning]) are the front door to
+    {!Ooc.configure}: they adjust the {e process-wide} segment policy
+    (the budgeted resource — the heap — is process-wide, and segments
+    from every store compete for it) rather than a field of the
+    returned record, so job specs and {!of_string} round-trip
+    unchanged. Omitted parameters leave the current policy alone. *)
 
 val with_budget :
   ?deadline_s:float ->
@@ -139,7 +151,10 @@ val to_string : t -> string
 
 val describe : t -> string
 (** {!to_string} plus the resolved domain count, the host
-    recommendation and the {!max_domains} cap, and the delta-cache
+    recommendation and the {!max_domains} cap, the delta-cache
     statistics (fallback fraction in effect, rows absorbed, incremental
-    vs full refreshes — {!Column_store.delta_stats}) — for bench logs
-    and serve job status. *)
+    vs full refreshes — {!Column_store.delta_stats}), and the
+    out-of-core state ({!Ooc.config} and {!Ooc.stats}: segment size,
+    spill dir, budget, residency, spill/map/eviction counts, zone-map
+    skip rate, IND short-circuits) — for bench logs and serve job
+    status. *)

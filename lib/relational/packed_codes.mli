@@ -1,0 +1,60 @@
+(** Immutable bit-packed vectors of dictionary codes.
+
+    Sealed column segments store their codes at 1/2/4/8/16/32 bits per
+    code (little-endian bit order), with a plain [int array] fast path
+    ([raw]) for unpackable widths. The packed byte image is exactly
+    what a spill file contains, so spilling and mapping back cannot
+    alter codes. *)
+
+type buf =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t =
+  | Raw of int array  (** unpacked fast path / unpackable fallback *)
+  | Packed of { width : int; n : int; data : Bytes.t }
+  | Mapped of { width : int; n : int; data : buf }
+      (** mmap-backed view of a spill file *)
+
+val width_for : int -> int
+(** [width_for max_code] is the smallest supported width (1/2/4/8/16/32)
+    that can hold every code in [\[0, max_code\]], or [0] if none can
+    (callers fall back to [Raw]). *)
+
+val packed_bytes : width:int -> int -> int
+(** [packed_bytes ~width n] is the byte length of a packed payload. *)
+
+val pack : width:int -> int array -> int -> int -> t
+(** [pack ~width src off n] packs [src.(off .. off+n-1)]. [width] must
+    come from {!width_for}; [width = 0] yields [Raw]. *)
+
+val raw : int array -> t
+(** Wrap an int array without packing (the caller transfers ownership:
+    the array must not be mutated afterwards). *)
+
+val of_array : int array -> int -> int -> t
+(** [of_array src off n] packs at the smallest width that fits the
+    slice's maximum code. *)
+
+val length : t -> int
+val width : t -> int
+(** Pack width in bits; [0] for [Raw]. *)
+
+val heap_words : t -> int
+(** Approximate resident heap cost in words (the residency budget's
+    unit). *)
+
+val get : t -> int -> int
+val decode_into : t -> int array -> unit
+(** [decode_into t dst] writes all [length t] codes into [dst.(0..)].
+    [dst] may be longer than [length t]. *)
+
+val to_array : t -> int array
+
+val write_file : string -> t -> unit
+(** Write the packed payload (or the 64-bit LE encoding of a [Raw]) to
+    a spill file. Raises [Invalid_argument] on [Mapped] payloads, which
+    already live in their spill file. *)
+
+val map_file : string -> width:int -> len:int -> t
+(** Map a spill file written by {!write_file} back as a [Mapped]
+    payload ([Raw] for [width = 0]). *)

@@ -344,8 +344,47 @@ let find t id =
       | Some e -> Ok e
       | None -> Error (Protocol.error ~code:"unknown-job" id))
 
+(* per-table segment residency of the loaded database's memoized
+   stores: which sealed segments exist, which are warm, which live on
+   disk, and at what pack widths *)
+let residency_json db =
+  match db with
+  | None -> Json.Null
+  | Some db ->
+      Json.List
+        (List.filter_map
+           (fun (rel : Relation.t) ->
+             match Database.table_opt db rel.Relation.name with
+             | None -> None
+             | Some tbl -> (
+                 match Table.ext_cache tbl with
+                 | Some (Column_store.Store s) ->
+                     let r = Column_store.residency s in
+                     Some
+                       (Json.Obj
+                          [
+                            ("table", Json.String rel.Relation.name);
+                            ( "sealed_segments",
+                              Json.Int r.Column_store.sealed_segments );
+                            ( "resident_segments",
+                              Json.Int r.Column_store.resident_segments );
+                            ( "spilled_segments",
+                              Json.Int r.Column_store.spilled_segments );
+                            ("tail_rows", Json.Int r.Column_store.tail_rows);
+                            ( "width_histogram",
+                              Json.Obj
+                                (List.map
+                                   (fun (w, n) ->
+                                     (string_of_int w, Json.Int n))
+                                   r.Column_store.width_histogram) );
+                          ])
+                 | _ -> None))
+           (Schema.relations (Database.schema db)))
+
 let status_fields entry =
   let d = Column_store.delta_stats () in
+  let oc = Ooc.config () in
+  let os = Ooc.stats () in
   [
     ("id", Json.String entry.id);
     ("label", Json.opt_string entry.spec.Dbre.Job_spec.label);
@@ -366,6 +405,29 @@ let status_fields entry =
           ( "incremental_refreshes",
             Json.Int d.Column_store.incremental_refreshes );
           ("full_rebuilds", Json.Int d.Column_store.full_rebuilds);
+        ] );
+    ( "ooc",
+      (* the process-wide out-of-core policy and its counters, plus the
+         per-store segment residency of this job's database *)
+      Json.Obj
+        [
+          ("segment_rows", Json.Int oc.Ooc.segment_rows);
+          ("spill_dir", Json.opt_string oc.Ooc.spill_dir);
+          ( "resident_budget_words",
+            match oc.Ooc.resident_budget_words with
+            | Some w -> Json.Int w
+            | None -> Json.Null );
+          ("zone_pruning", Json.Bool oc.Ooc.zone_pruning);
+          ("resident_segments", Json.Int os.Ooc.resident_segments);
+          ("resident_words", Json.Int os.Ooc.resident_words);
+          ("spill_writes", Json.Int os.Ooc.spill_writes);
+          ("map_loads", Json.Int os.Ooc.map_loads);
+          ("evictions", Json.Int os.Ooc.evictions);
+          ("zone_segments_skipped", Json.Int os.Ooc.zone_segments_skipped);
+          ("zone_segments_swept", Json.Int os.Ooc.zone_segments_swept);
+          ( "ind_zone_short_circuits",
+            Json.Int os.Ooc.ind_zone_short_circuits );
+          ("stores", residency_json entry.db);
         ] );
   ]
 

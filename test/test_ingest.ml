@@ -166,11 +166,11 @@ let check_store_eq msg t1 t2 =
       Alcotest.(check bool)
         (Printf.sprintf "%s: dict of %s" msg a)
         true
-        (c1.Column_store.dict = c2.Column_store.dict);
+        (Column_store.column_dict c1 = Column_store.column_dict c2);
       Alcotest.(check bool)
         (Printf.sprintf "%s: codes of %s" msg a)
         true
-        (c1.Column_store.codes = c2.Column_store.codes))
+        (Column_store.column_codes c1 = Column_store.column_codes c2))
     (Table.schema t1).Relation.attrs
 
 let test_dictionary_equivalence () =
